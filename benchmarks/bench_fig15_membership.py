@@ -1,0 +1,35 @@
+"""Figure 15 bench: MTable stress test (§6.7).
+
+Paper: membership-update performance is comparable across systems up to
+~160 nodes; beyond that Marlin degrades because TryLog's optimistic
+concurrency control on the single SysLog retries under contention, while the
+serialized external services keep up.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig15
+
+NODE_COUNTS = (20, 80, 160, 240)
+
+
+def test_fig15_membership_stress(benchmark):
+    def sweep():
+        results = {}
+        for system in ("marlin", "zk-small", "zk-large", "fdb"):
+            for nodes in NODE_COUNTS:
+                results[(system, nodes)] = fig15.run_stress(system, nodes, seed=1)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fig = fig15.summarize(results)
+    emit(fig, benchmark)
+    # Comparable at moderate scale...
+    assert results[("marlin", 80)]["efficiency"] > 0.95
+    # ... degraded beyond ~160 nodes, unlike the external services.
+    marlin_large = results[("marlin", 240)]
+    zk_large = results[("zk-small", 240)]
+    assert marlin_large["mean_latency_s"] > 2 * zk_large["mean_latency_s"]
+    assert marlin_large["efficiency"] < zk_large["efficiency"]
+    assert zk_large["efficiency"] > 0.95
+    # The degradation mechanism is CAS retries on SysLog.
+    assert marlin_large["retries"] > results[("marlin", 20)]["retries"]

@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the substrate hot paths (pytest-benchmark proper).
+
+These time the pure-Python data structures every simulated second leans on:
+conditional appends, page-store replay, clock cache, lock table and the
+Zipfian sampler.
+"""
+
+import random
+
+from repro.engine.buffer import CacheManager
+from repro.engine.locks import LockTable
+from repro.storage.log import LogRecord, Put, RecordKind, SharedLog
+from repro.storage.pagestore import PageStore
+from repro.workload.distributions import Zipfian
+
+
+def test_log_append_throughput(benchmark):
+    log = SharedLog("bench")
+
+    def append():
+        log.append("txn", RecordKind.COMMIT_DATA, (Put("t", 1, "v"),))
+
+    benchmark(append)
+
+
+def test_log_conditional_append(benchmark):
+    log = SharedLog("bench")
+
+    def cas_append():
+        log.append("txn", RecordKind.COMMIT_DATA, (), expected_lsn=log.end_lsn)
+
+    benchmark(cas_append)
+
+
+def test_log_failed_cas_is_cheap(benchmark):
+    log = SharedLog("bench")
+    log.append("txn", RecordKind.COMMIT_DATA, ())
+
+    def failed_cas():
+        log.append("txn", RecordKind.COMMIT_DATA, (), expected_lsn=0)
+
+    benchmark(failed_cas)
+
+
+def test_pagestore_apply(benchmark):
+    ps = PageStore()
+    state = {"lsn": 0}
+
+    def apply():
+        state["lsn"] += 1
+        ps.apply(
+            "log",
+            LogRecord(state["lsn"], "t", RecordKind.COMMIT_DATA, (Put("t", 1, "v"),)),
+        )
+
+    benchmark(apply)
+
+
+def test_cache_hit_path(benchmark):
+    cache = CacheManager(1024)
+    for i in range(1024):
+        cache.put(i, i)
+
+    def hit():
+        cache.get(512)
+
+    benchmark(hit)
+
+
+def test_cache_eviction_path(benchmark):
+    cache = CacheManager(256)
+    state = {"key": 0}
+
+    def churn():
+        state["key"] += 1
+        cache.put(state["key"], state["key"])
+
+    benchmark(churn)
+
+
+def test_lock_acquire_release(benchmark):
+    locks = LockTable()
+    state = {"txn": 0}
+
+    def cycle():
+        state["txn"] += 1
+        txn = f"t{state['txn']}"
+        locks.acquire(txn, ("tab", 1), True)
+        locks.release_all(txn)
+
+    benchmark(cycle)
+
+
+def test_zipfian_sampling(benchmark):
+    dist = Zipfian(100_000, theta=0.99)
+    rng = random.Random(7)
+    benchmark(dist.sample, rng)

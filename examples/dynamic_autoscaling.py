@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Bursty workload with an autoscaler (§6.6 in miniature).
+
+Client load doubles, holds, then drops; the autoscaler scales the Marlin
+cluster out and back in.  Fast reconfiguration is what makes autoscaling pay:
+nodes are released soon after the burst ends, so the realtime cost tracks the
+load curve.
+"""
+
+from repro import Autoscaler, Cluster, ClusterConfig
+from repro.experiments.harness import start_clients
+
+
+def main():
+    config = ClusterConfig(
+        coordination="marlin",
+        num_nodes=4,
+        num_keys=4 * 400 * 64,
+        keys_per_granule=64,
+        seed=21,
+    )
+    cluster = Cluster(config)
+    cluster.run(until=0.1)
+
+    router, base_clients = start_clients(cluster, 16, "ycsb", seed=100)
+    scaler = Autoscaler(
+        cluster, router=router, interval=1.0,
+        clients_per_node=4, min_nodes=4, max_nodes=8, cooldown=2.0,
+    )
+    scaler.start()
+
+    print("t=0s   : 16 clients on 4 nodes")
+    cluster.run(until=5.0)
+
+    print("t=5s   : burst to 32 clients")
+    _router2, burst = start_clients(
+        cluster, 16, "ycsb", seed=200, bind_to_nodes=list(range(4))
+    )
+    cluster.client_count = 32
+    cluster.run(until=20.0)
+
+    print("t=20s  : burst ends")
+    for client in burst:
+        client.stop()
+    cluster.client_count = 16
+    cluster.run(until=35.0)
+
+    for client in base_clients:
+        client.stop()
+    scaler.stop()
+    cluster.settle()
+
+    print("\nscaling actions:")
+    for event in cluster.scale_events:
+        what = event.get("new_nodes") or event.get("removed")
+        print(
+            f"  t={event['start']:6.2f}s {event['kind']:<9} nodes={what} "
+            f"took {event['duration']:.2f}s ({event['moves']} granule moves)"
+        )
+
+    print("\nrealtime cost ($/s, sampled every 5s):")
+    series = cluster.cost_model.realtime_cost_series(
+        cluster.metrics, until=35.0, bucket=5.0
+    )
+    for t, dollars in series:
+        bar = "#" * int(dollars * 3600 / 0.192 * 2)
+        print(f"  t={t:5.1f}s {dollars * 3600:7.3f} $/hr {bar}")
+
+    report = cluster.price(35.0)
+    print(f"\ntotal cost ${report.total:.4f} for {report.committed} txns")
+
+
+if __name__ == "__main__":
+    main()

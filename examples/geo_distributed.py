@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Geo-distributed deployment across four Azure regions (§6.5 in miniature).
+
+Compute and storage span US West, Asia East, UK South and Australia East;
+ZooKeeper (when used) sits in US West only.  Marlin's coordination state
+lives with the data, so migrations never leave their region — the baselines
+pay a cross-region round trip per ownership update.
+"""
+
+from repro.experiments.harness import SYSTEM_LABELS, run_scale_out_scenario
+from repro.sim.network import AZURE_REGIONS
+
+
+def main():
+    print(f"regions: {', '.join(AZURE_REGIONS)} (coordination pinned in us-west)\n")
+    durations = {}
+    for system in ("marlin", "zk-small", "fdb"):
+        result = run_scale_out_scenario(
+            system,
+            initial_nodes=4,            # one per region
+            added_nodes=4,              # doubles each region
+            clients=16,
+            granules=3200,
+            scale_at=2.0,
+            tail=4.0,
+            regions=tuple(AZURE_REGIONS),
+            seed=17,
+        )
+        durations[system] = result.migration_duration
+        cross_region = result.cluster.network.messages_sent
+        print(
+            f"{SYSTEM_LABELS[system]:8} migration window "
+            f"{result.migration_duration:7.2f}s   "
+            f"committed {result.metrics.total_committed:6d}   "
+            f"$/Mtxn {result.cost.cost_per_million_txns:7.3f}"
+        )
+    print()
+    for base in ("zk-small", "fdb"):
+        ratio = durations[base] / durations["marlin"]
+        print(
+            f"Marlin migrates {ratio:.1f}x faster than {SYSTEM_LABELS[base]} "
+            f"in the geo setting"
+        )
+    print("(paper: up to 4.9x vs ZooKeeper, up to 9.5x vs FDB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — a reproduction of "Marlin: Efficient Coordination for Autoscaling
+Cloud DBMS" (SIGMOD 2025).
+
+Public API quick map:
+
+* :class:`repro.Cluster` / :class:`repro.ClusterConfig` — build a simulated
+  storage-disaggregated, Partitioned-Writer database with Marlin or an
+  external coordination service (``marlin`` / ``zk-small`` / ``zk-large`` /
+  ``fdb``).
+* :mod:`repro.core` — Marlin itself: MarlinCommit, the five reconfiguration
+  transactions, ring failure detection, invariants, and the executable TLA+
+  migration model.
+* :mod:`repro.workload` — YCSB and TPC-C generators plus closed-loop clients.
+* :mod:`repro.experiments` — ``fig8`` … ``fig15``: one module per figure in
+  the paper's evaluation, each regenerating its table/series.
+"""
+
+from repro.cluster import Cluster, ClusterConfig, CostModel, MetricsCollector
+from repro.core import MarlinRuntime, check_invariants, marlin_commit
+from repro.core.autoscaler import Autoscaler
+from repro.engine.node import NodeParams, TxnOp, TxnSpec
+from repro.workload import Client, Router, TpccWorkload, YcsbWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Autoscaler",
+    "Client",
+    "Cluster",
+    "ClusterConfig",
+    "CostModel",
+    "MarlinRuntime",
+    "MetricsCollector",
+    "NodeParams",
+    "Router",
+    "TpccWorkload",
+    "TxnOp",
+    "TxnSpec",
+    "YcsbWorkload",
+    "check_invariants",
+    "marlin_commit",
+    "__version__",
+]

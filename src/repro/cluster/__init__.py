@@ -1,0 +1,29 @@
+"""Cluster orchestration: build, scale, fail, measure and price a database.
+
+``Cluster`` wires the substrates together (storage per region, compute
+nodes, a coordination runtime, clients) for any of the four mechanisms the
+paper evaluates (marlin, zk-small, zk-large, fdb); ``MetricsCollector`` and
+``CostModel`` implement the measurement methodology of §6.1.4-§6.1.5.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import (
+    COORDINATION_KINDS,
+    ClusterConfig,
+    D4S_V3,
+    D8S_V3,
+    VmSpec,
+)
+from repro.cluster.cost import CostModel
+from repro.cluster.metrics import MetricsCollector
+
+__all__ = [
+    "COORDINATION_KINDS",
+    "Cluster",
+    "ClusterConfig",
+    "CostModel",
+    "D4S_V3",
+    "D8S_V3",
+    "MetricsCollector",
+    "VmSpec",
+]

@@ -1,0 +1,357 @@
+"""Cluster builder and reconfiguration driver.
+
+Builds the full system for one experiment run — per-region storage services,
+compute nodes with the chosen coordination runtime (marlin / zk-small /
+zk-large / fdb), an admin endpoint for dispatching reconfigurations — and
+exposes the operations the paper's scenarios need: ``scale_out``,
+``scale_in``, ``fail_node`` and ground-truth introspection for invariant
+checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.cost import CostModel
+from repro.cluster.metrics import MetricsCollector
+from repro.coord.external import ExternalRuntime, FdbClient, ZkClient
+from repro.coord.fdb import FdbService
+from repro.coord.zookeeper import ZooKeeperService
+from repro.core.failure import RingFailureDetector
+from repro.core.runtime import MarlinRuntime
+from repro.engine.granule import GranuleMap, contiguous_assignment, rebalance_plan
+from repro.engine.node import (
+    GTABLE,
+    MTABLE,
+    SYSLOG,
+    ComputeNode,
+    glog_name,
+    node_address,
+)
+from repro.sim.core import Simulator, Timeout, all_of
+from repro.sim.network import LatencyModel, Network
+from repro.sim.rpc import RpcEndpoint
+from repro.storage.log import Put, RecordKind
+from repro.storage.service import StorageService
+
+__all__ = ["Cluster"]
+
+
+def storage_address(region: str) -> str:
+    return f"storage-{region}"
+
+
+class Cluster:
+    """One simulated deployment of the reference database."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.network = Network(self.sim, LatencyModel())
+        self.metrics = MetricsCollector(bucket=config.metrics_bucket)
+        self.gmap = GranuleMap(config.num_keys, config.keys_per_granule)
+        self.cost_model = CostModel(
+            compute_hourly=config.node_vm.hourly_cost,
+            coordination_hourly=config.coordination_hourly,
+        )
+
+        self.storages: Dict[str, StorageService] = {}
+        for region in config.regions:
+            self.storages[region] = StorageService(
+                self.sim,
+                self.network,
+                address=storage_address(region),
+                region=region,
+                append_latency=config.storage_append_latency,
+                read_latency=config.storage_read_latency,
+            )
+        #: log name -> storage address; shared by every node (a log lives in
+        #: the region of the node that created it; SysLog in the home region).
+        self.log_directory: Dict[str, str] = {
+            SYSLOG: storage_address(config.home_region)
+        }
+
+        self.service = None
+        if config.coordination in ("zk-small", "zk-large"):
+            self.service = ZooKeeperService(
+                self.sim, self.network, config.zk_config,
+                address="zk", region=config.home_region,
+            )
+        elif config.coordination == "fdb":
+            self.service = FdbService(
+                self.sim, self.network, config.fdb_config,
+                address="fdb", region=config.home_region,
+            )
+
+        self.admin = RpcEndpoint(self.sim, self.network, "admin", config.home_region)
+        self.nodes: Dict[int, ComputeNode] = {}
+        self.detectors: Dict[int, RingFailureDetector] = {}
+        self._next_node_id = 0
+        self._last_assignment: Dict[int, int] = {}
+        #: Set by workload drivers; read by the autoscaler.
+        self.client_count = 0
+        self.scale_events: List[dict] = []
+
+        self._bootstrap()
+
+    # -- construction -----------------------------------------------------------------
+
+    def node_region(self, node_id: int) -> str:
+        return self.config.regions[node_id % len(self.config.regions)]
+
+    def _make_runtime(self):
+        kind = self.config.coordination
+        if kind == "marlin":
+            return MarlinRuntime()
+        if kind == "fdb":
+            fdb = self.config.fdb_config
+            return ExternalRuntime(
+                FdbClient("fdb", fdb.client_overhead, fdb.session_pool)
+            )
+        zk = self.config.zk_config
+        return ExternalRuntime(ZkClient("zk", zk.client_overhead, zk.session_pool))
+
+    def _make_node(self, node_id: int) -> ComputeNode:
+        region = self.node_region(node_id)
+        node = ComputeNode(
+            self.sim,
+            self.network,
+            node_id,
+            region,
+            storage_address(region),
+            self.gmap,
+            params=self.config.node_params,
+        )
+        node.log_directory = self.log_directory
+        self.log_directory[node.glog] = storage_address(region)
+        self.storages[region].create_log(node.glog)
+        node.lsn_tracker[node.glog] = 0
+        node.view_cursor[node.glog] = 0
+        runtime = self._make_runtime()
+        runtime.attach(node)
+        node.runtime = runtime
+        node.metrics = self.metrics
+        self.nodes[node_id] = node
+        return node
+
+    def _bootstrap(self) -> None:
+        config = self.config
+        home = self.storages[config.home_region]
+        home.create_log(SYSLOG)
+
+        node_ids = []
+        for _ in range(config.num_nodes):
+            node_id = self._next_node_id
+            self._next_node_id += 1
+            self._make_node(node_id)
+            node_ids.append(node_id)
+
+        membership = tuple(
+            Put(MTABLE, nid, node_address(nid)) for nid in node_ids
+        )
+        home.log(SYSLOG).append("bootstrap-membership", RecordKind.COMMIT_DATA, membership)
+        syslog_lsn = home.log(SYSLOG).end_lsn
+
+        assignment = contiguous_assignment(self.gmap.num_granules, node_ids)
+        by_node: Dict[int, List[int]] = {nid: [] for nid in node_ids}
+        for granule, owner in assignment.items():
+            by_node[owner].append(granule)
+
+        for nid in node_ids:
+            node = self.nodes[nid]
+            entries = tuple(Put(GTABLE, g, nid) for g in by_node[nid])
+            log = self.storages[node.region].log(node.glog)
+            log.append("bootstrap-gtable", RecordKind.COMMIT_DATA, entries)
+            node.lsn_tracker[node.glog] = log.end_lsn
+            node.view_cursor[node.glog] = log.end_lsn
+
+        for nid in node_ids:
+            node = self.nodes[nid]
+            node.mtable = {m: node_address(m) for m in node_ids}
+            node.gtable = dict(assignment)
+            node.lsn_tracker[SYSLOG] = syslog_lsn
+            node.view_cursor[SYSLOG] = syslog_lsn
+            node.start()
+
+        if self.service is not None:
+            for nid in node_ids:
+                self.service.data[f"/members/{nid}"] = node_address(nid)
+            for granule, owner in assignment.items():
+                self.service.data[f"/granules/{granule}"] = owner
+
+        if config.failure_detection and config.coordination == "marlin":
+            for nid in node_ids:
+                self._start_detector(nid)
+
+        self._last_assignment = dict(assignment)
+        self.metrics.record_node_count(0.0, len(node_ids))
+
+    def _start_detector(self, node_id: int) -> None:
+        detector = RingFailureDetector(
+            self.nodes[node_id].runtime,
+            interval=self.config.detector_interval,
+            timeout=self.config.detector_timeout,
+            miss_threshold=self.config.detector_misses,
+        )
+        detector.start()
+        self.detectors[node_id] = detector
+
+    # -- introspection ---------------------------------------------------------------
+
+    def live_node_ids(self) -> List[int]:
+        return sorted(nid for nid, n in self.nodes.items() if not n.frozen)
+
+    def assignment_from_views(self) -> Dict[int, int]:
+        """Current granule->owner map from live nodes' authoritative views."""
+        merged = dict(self._last_assignment)
+        for nid in self.live_node_ids():
+            for granule in self.nodes[nid].owned_granules():
+                merged[granule] = nid
+        self._last_assignment = merged
+        return dict(merged)
+
+    def ground_truth_gtable(self) -> Dict[int, int]:
+        """Replayed GTable merged across all regions' page stores."""
+        merged: Dict[int, int] = {}
+        for storage in self.storages.values():
+            merged.update(storage.pagestore.snapshot(GTABLE))
+        return merged
+
+    def ground_truth_mtable(self) -> Dict[int, str]:
+        home = self.storages[self.config.home_region]
+        return home.pagestore.snapshot(MTABLE)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    def settle(self, delay: float = 0.05) -> None:
+        """Run a little longer so replay and async decisions quiesce."""
+        self.sim.run(until=self.sim.now + delay)
+
+    # -- reconfiguration operations ------------------------------------------------------
+
+    def scale_out(self, count: int) -> Generator:
+        """Add ``count`` nodes and rebalance; returns a summary dict."""
+        start = self.sim.now
+        if self.config.provision_delay:
+            yield Timeout(self.config.provision_delay)
+        new_ids: List[int] = []
+        for _ in range(count):
+            node_id = self._next_node_id
+            self._next_node_id += 1
+            node = self._make_node(node_id)
+            node.start()
+            new_ids.append(node_id)
+
+        snapshot = self.assignment_from_views()
+        for node_id in new_ids:
+            node = self.nodes[node_id]
+            node.gtable.update(snapshot)
+            ok = yield from node.runtime.add_node()
+            if not ok:
+                raise RuntimeError(f"AddNodeTxn failed for node {node_id}")
+            if hasattr(node.runtime, "broadcast_sys_update"):
+                node.runtime.broadcast_sys_update(
+                    [Put(MTABLE, node_id, node.address)]
+                )
+            if self.config.failure_detection and self.config.coordination == "marlin":
+                self._start_detector(node_id)
+        self.metrics.record_node_count(self.sim.now, len(self.live_node_ids()))
+
+        moves = self._rebalance_moves(snapshot, self.live_node_ids())
+        migrated = yield from self.dispatch_migrations(moves)
+        summary = {
+            "kind": "scale-out",
+            "start": start,
+            "duration": self.sim.now - start,
+            "new_nodes": new_ids,
+            "moves": len(moves),
+            "migrated": migrated,
+        }
+        self.scale_events.append(summary)
+        return summary
+
+    def scale_in(self, victims: Sequence[int]) -> Generator:
+        """Drain and remove ``victims``; returns a summary dict."""
+        start = self.sim.now
+        victims = list(victims)
+        survivors = [n for n in self.live_node_ids() if n not in victims]
+        if not survivors:
+            raise ValueError("scale_in would remove every node")
+        snapshot = self.assignment_from_views()
+        moves = self._rebalance_moves(snapshot, survivors)
+        moves = [m for m in moves if m[1] in victims]
+        migrated = yield from self.dispatch_migrations(moves)
+        for victim in victims:
+            node = self.nodes[victim]
+            yield from node.runtime.remove_node(victim)
+            if hasattr(node.runtime, "broadcast_sys_update"):
+                from repro.storage.log import Delete
+
+                node.runtime.broadcast_sys_update([Delete(MTABLE, victim)])
+            detector = self.detectors.pop(victim, None)
+            node.stop()
+        self.metrics.record_node_count(self.sim.now, len(self.live_node_ids()))
+        summary = {
+            "kind": "scale-in",
+            "start": start,
+            "duration": self.sim.now - start,
+            "removed": victims,
+            "moves": len(moves),
+            "migrated": migrated,
+        }
+        self.scale_events.append(summary)
+        return summary
+
+    def _rebalance_moves(self, snapshot, targets) -> List[Tuple[int, int, int]]:
+        """Plan rebalancing moves, kept region-local in geo deployments.
+
+        §6.5: Marlin's distributed metadata management "inherently co-locates
+        coordination with compute"; data stays in its region, so migrations
+        never cross regions (the same constraint applies to the baselines'
+        data path — only their coordination updates travel).
+        """
+        if len(self.config.regions) == 1:
+            return rebalance_plan(snapshot, targets)
+        moves: List[Tuple[int, int, int]] = []
+        for region in self.config.regions:
+            region_targets = [t for t in targets if self.node_region(t) == region]
+            region_granules = {
+                g: owner
+                for g, owner in snapshot.items()
+                if self.node_region(owner) == region
+            }
+            if region_targets and region_granules:
+                moves.extend(rebalance_plan(region_granules, region_targets))
+        return moves
+
+    def dispatch_migrations(
+        self, moves: Sequence[Tuple[int, int, int]]
+    ) -> Generator:
+        """Send ``(granule, src, dst)`` moves to their destinations in parallel."""
+        by_dst: Dict[int, List[Tuple[int, int]]] = {}
+        for granule, src, dst in moves:
+            by_dst.setdefault(dst, []).append((granule, src))
+        futs = [
+            self.admin.call(node_address(dst), "run_migrations", tuple(batch))
+            for dst, batch in sorted(by_dst.items())
+        ]
+        if not futs:
+            return 0
+        results = yield all_of(self.sim, futs)
+        return sum(r["count"] for r in results)
+
+    # -- failures -------------------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Freeze a node (the paper's unhealthy-node state, Figure 7)."""
+        self.nodes[node_id].freeze()
+        detector = self.detectors.pop(node_id, None)
+
+    def resume_node(self, node_id: int) -> None:
+        self.nodes[node_id].unfreeze()
+
+    def price(self, duration: Optional[float] = None):
+        d = self.sim.now if duration is None else duration
+        return self.cost_model.price(self.metrics, d)

@@ -1,0 +1,100 @@
+"""Deployment configuration: VM rate card, coordination kinds, presets.
+
+Matches §6.1.1: compute nodes are Standard D4s v3 ($0.192/hour) in US West;
+the ZooKeeper baselines run 3x D4s v3 (S-ZK, $0.597/hour for the cluster) or
+3x D8s v3 (L-ZK, $1.173/hour); FDB runs on hardware comparable to S-ZK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.coord.fdb import FDB_DEFAULT, FdbConfig
+from repro.coord.zookeeper import ZK_LARGE, ZK_SMALL, ZkConfig
+from repro.engine.node import NodeParams
+
+__all__ = [
+    "COORDINATION_KINDS",
+    "ClusterConfig",
+    "D4S_V3",
+    "D8S_V3",
+    "VmSpec",
+]
+
+
+@dataclass(frozen=True)
+class VmSpec:
+    """An Azure VM flavor with its hourly rate."""
+
+    name: str
+    vcpus: int
+    memory_gb: int
+    network_gbps: int
+    hourly_cost: float
+
+
+D4S_V3 = VmSpec("Standard_D4s_v3", 4, 16, 2, 0.192)
+D8S_V3 = VmSpec("Standard_D8s_v3", 8, 32, 4, 0.384)
+
+#: The four mechanisms compared throughout §6.
+COORDINATION_KINDS = ("marlin", "zk-small", "zk-large", "fdb")
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to build one cluster for one experiment run."""
+
+    coordination: str = "marlin"
+    num_nodes: int = 4
+    regions: Tuple[str, ...] = ("us-west",)
+    #: Region hosting SysLog and any external coordination service (§6.5
+    #: pins ZooKeeper and FDB in US West).
+    home_region: str = "us-west"
+    num_keys: int = 64_000
+    keys_per_granule: int = 64
+    node_vm: VmSpec = D4S_V3
+    node_params: NodeParams = field(default_factory=NodeParams)
+    zk_config: Optional[ZkConfig] = None
+    fdb_config: FdbConfig = FDB_DEFAULT
+    #: Ring failure detection (Marlin only; §4.4.2).
+    failure_detection: bool = False
+    detector_interval: float = 0.5
+    detector_timeout: float = 0.25
+    detector_misses: int = 3
+    #: Simulated VM provisioning delay when scaling out.
+    provision_delay: float = 0.0
+    #: Storage-side latencies (Azure Append Blob / Table Storage class).
+    storage_append_latency: float = 0.0012
+    storage_read_latency: float = 0.0008
+    metrics_bucket: float = 1.0
+    seed: int = 1
+
+    def __post_init__(self):
+        if self.coordination not in COORDINATION_KINDS:
+            raise ValueError(
+                f"unknown coordination {self.coordination!r}; "
+                f"expected one of {COORDINATION_KINDS}"
+            )
+        if self.zk_config is None:
+            self.zk_config = ZK_LARGE if self.coordination == "zk-large" else ZK_SMALL
+        if self.home_region not in self.regions:
+            raise ValueError(
+                f"home region {self.home_region!r} not in regions {self.regions}"
+            )
+
+    @property
+    def num_granules(self) -> int:
+        return (self.num_keys + self.keys_per_granule - 1) // self.keys_per_granule
+
+    @property
+    def coordination_hourly(self) -> float:
+        if self.coordination == "marlin":
+            return 0.0
+        if self.coordination == "fdb":
+            return self.fdb_config.hourly_cost
+        return self.zk_config.hourly_cost
+
+    def with_(self, **kwargs) -> "ClusterConfig":
+        """A modified copy (keeps presets immutable in experiment sweeps)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,89 @@
+"""Cost model (§6.1.5).
+
+"The total system cost includes data-plane and control-plane costs.  DB Cost
+accounts for computing servers ...; Meta Cost reflects coordination expenses.
+Since Marlin eliminates the external coordination service, its Meta Cost is
+zero."  Compute cost is the VM hourly rate integrated over node-seconds;
+storage cost is excluded, as in the paper ("384x" cheaper than one VM-hour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["CostModel", "CostReport"]
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Cost of one run, decomposed as in Figures 10b / 12b."""
+
+    db_cost: float
+    meta_cost: float
+    committed: int
+    duration: float
+
+    @property
+    def total(self) -> float:
+        return self.db_cost + self.meta_cost
+
+    @property
+    def cost_per_million_txns(self) -> float:
+        if self.committed == 0:
+            return float("inf")
+        return self.total / self.committed * 1e6
+
+    @property
+    def meta_fraction(self) -> float:
+        return self.meta_cost / self.total if self.total else 0.0
+
+
+class CostModel:
+    """Prices a run from metrics plus the deployment's rate card."""
+
+    def __init__(
+        self,
+        compute_hourly: float,
+        coordination_hourly: float = 0.0,
+        coordination_clusters: int = 1,
+    ):
+        self.compute_hourly = compute_hourly
+        self.coordination_hourly = coordination_hourly
+        self.coordination_clusters = coordination_clusters
+
+    def price(self, metrics, duration: float) -> CostReport:
+        db = metrics.node_seconds(duration) / SECONDS_PER_HOUR * self.compute_hourly
+        meta = (
+            duration
+            / SECONDS_PER_HOUR
+            * self.coordination_hourly
+            * self.coordination_clusters
+        )
+        return CostReport(
+            db_cost=db,
+            meta_cost=meta,
+            committed=metrics.total_committed,
+            duration=duration,
+        )
+
+    def realtime_cost_series(self, metrics, until: float, bucket: float = 1.0):
+        """Dollars per second over time (Figure 14b's realtime cost)."""
+        events = sorted(metrics.node_count_events) or [(0.0, 0)]
+        series = []
+        t = 0.0
+        index = 0
+        count = events[0][1]
+        while t <= until:
+            while index + 1 < len(events) and events[index + 1][0] <= t:
+                index += 1
+                count = events[index][1]
+            per_second = (
+                count * self.compute_hourly
+                + self.coordination_hourly * self.coordination_clusters
+            ) / SECONDS_PER_HOUR
+            series.append((t, per_second))
+            t += bucket
+        return series

@@ -1,0 +1,156 @@
+"""Time-bucketed measurement of throughput, latency, aborts, reconfigurations.
+
+Implements the paper's methodology (§6.1.4): throughput and latency are
+reported for committed transactions; abort ratio is aborts over attempts per
+time bucket; migration progress is tracked so "migration duration" (first to
+last MigrationTxn commit) can be reported per run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Shared collector; clients and nodes call the ``record_*`` hooks."""
+
+    def __init__(self, bucket: float = 1.0):
+        self.bucket = bucket
+        self.committed: Dict[int, int] = defaultdict(int)
+        self.aborted: Dict[int, int] = defaultdict(int)
+        self.abort_reasons: Dict[str, int] = defaultdict(int)
+        self.migrations: Dict[int, int] = defaultdict(int)
+        self.latencies: Dict[int, List[float]] = defaultdict(list)
+        self.migration_latencies: List[float] = []
+        self.failovers: List[Tuple[float, int, int]] = []
+        #: (time, node_count) step function for realtime cost integration.
+        self.node_count_events: List[Tuple[float, int]] = []
+        self.first_migration: Optional[float] = None
+        self.last_migration: Optional[float] = None
+        self.total_committed = 0
+        self.total_aborted = 0
+        self.total_migrations = 0
+
+    def _bucket(self, t: float) -> int:
+        return int(t // self.bucket)
+
+    # -- recording hooks ---------------------------------------------------------
+
+    def record_commit(self, t: float, latency: float) -> None:
+        self.committed[self._bucket(t)] += 1
+        self.latencies[self._bucket(t)].append(latency)
+        self.total_committed += 1
+
+    def record_abort(self, t: float, reason: str = "unknown") -> None:
+        self.aborted[self._bucket(t)] += 1
+        self.abort_reasons[reason] += 1
+        self.total_aborted += 1
+
+    def record_migration(self, t: float, latency: Optional[float] = None) -> None:
+        self.migrations[self._bucket(t)] += 1
+        self.total_migrations += 1
+        if self.first_migration is None or t < self.first_migration:
+            self.first_migration = t
+        if self.last_migration is None or t > self.last_migration:
+            self.last_migration = t
+        if latency is not None:
+            self.migration_latencies.append(latency)
+
+    def record_failover(self, t: float, dead_id: int, granules: int) -> None:
+        self.failovers.append((t, dead_id, granules))
+
+    def record_node_count(self, t: float, count: int) -> None:
+        self.node_count_events.append((t, count))
+
+    # -- derived series ------------------------------------------------------------
+
+    def _series(self, counters: Dict[int, int], until: float) -> List[Tuple[float, float]]:
+        last = max(int(until // self.bucket), max(counters, default=0))
+        return [
+            (b * self.bucket, counters.get(b, 0) / self.bucket)
+            for b in range(0, last + 1)
+        ]
+
+    def throughput_series(self, until: float) -> List[Tuple[float, float]]:
+        """Committed transactions per second, per bucket."""
+        return self._series(self.committed, until)
+
+    def migration_series(self, until: float) -> List[Tuple[float, float]]:
+        return self._series(self.migrations, until)
+
+    def abort_ratio_series(self, until: float) -> List[Tuple[float, float]]:
+        """Aborts / attempts per bucket (the paper's Abort Ratio axis)."""
+        last = max(
+            int(until // self.bucket),
+            max(self.committed, default=0),
+            max(self.aborted, default=0),
+        )
+        out = []
+        for b in range(0, last + 1):
+            commits = self.committed.get(b, 0)
+            aborts = self.aborted.get(b, 0)
+            total = commits + aborts
+            out.append((b * self.bucket, aborts / total if total else 0.0))
+        return out
+
+    def latency_series(self, until: float, pct: float = 50.0) -> List[Tuple[float, float]]:
+        last = max(int(until // self.bucket), max(self.latencies, default=0))
+        out = []
+        for b in range(0, last + 1):
+            samples = self.latencies.get(b, [])
+            out.append(
+                (b * self.bucket, float(np.percentile(samples, pct)) if samples else 0.0)
+            )
+        return out
+
+    # -- summary statistics ----------------------------------------------------------
+
+    @property
+    def migration_duration(self) -> float:
+        """First-to-last migration commit (the paper's migration duration)."""
+        if self.first_migration is None or self.last_migration is None:
+            return 0.0
+        return self.last_migration - self.first_migration
+
+    def migration_latency_stats(self) -> Dict[str, float]:
+        if not self.migration_latencies:
+            return {"mean": 0.0, "p50": 0.0, "p99": 0.0}
+        arr = np.asarray(self.migration_latencies)
+        return {
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p99": float(np.percentile(arr, 99)),
+        }
+
+    def latency_stats(self) -> Dict[str, float]:
+        samples = [x for chunk in self.latencies.values() for x in chunk]
+        if not samples:
+            return {"mean": 0.0, "p50": 0.0, "p99": 0.0}
+        arr = np.asarray(samples)
+        return {
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p99": float(np.percentile(arr, 99)),
+        }
+
+    def abort_ratio(self) -> float:
+        total = self.total_committed + self.total_aborted
+        return self.total_aborted / total if total else 0.0
+
+    def node_seconds(self, until: float) -> float:
+        """Integral of the node-count step function over [0, until]."""
+        if not self.node_count_events:
+            return 0.0
+        events = sorted(self.node_count_events)
+        area = 0.0
+        for (t0, n0), (t1, _n1) in zip(events, events[1:]):
+            area += n0 * (min(t1, until) - min(t0, until))
+        last_t, last_n = events[-1]
+        if until > last_t:
+            area += last_n * (until - last_t)
+        return area

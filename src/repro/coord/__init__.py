@@ -1,0 +1,19 @@
+"""Coordination mechanisms: Marlin and the external-service baselines.
+
+``repro.coord.base`` defines the runtime interface a compute node programs
+against; ``repro.coord.zookeeper`` and ``repro.coord.fdb`` model the paper's
+S-ZK / L-ZK and FoundationDB baselines (§6.1.2); the Marlin runtime itself
+lives in ``repro.core`` (it is the paper's contribution, not a baseline).
+"""
+
+from repro.coord.base import CoordinationRuntime
+from repro.coord.external import ExternalRuntime
+from repro.coord.fdb import FdbService
+from repro.coord.zookeeper import ZooKeeperService
+
+__all__ = [
+    "CoordinationRuntime",
+    "ExternalRuntime",
+    "FdbService",
+    "ZooKeeperService",
+]

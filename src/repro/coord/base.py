@@ -1,0 +1,93 @@
+"""The coordination-runtime interface a compute node programs against.
+
+A *runtime* encapsulates where coordination state lives and how it changes:
+
+* :class:`repro.core.runtime.MarlinRuntime` — integrated, state in the
+  database's own system tables (the paper's contribution);
+* :class:`repro.coord.external.ExternalRuntime` — state in an external
+  coordination service (ZooKeeper-like or FoundationDB-like).
+
+Every method that performs I/O is a generator (simulation process fragment)
+so protocol code composes with ``yield from``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, Generator, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.node import ComputeNode
+    from repro.engine.txn import TxnContext
+
+__all__ = ["CoordinationRuntime"]
+
+
+class CoordinationRuntime(abc.ABC):
+    """Per-node strategy object for coordination-state access."""
+
+    #: Human-readable mechanism name ("marlin", "zookeeper", "fdb").
+    kind: str = "abstract"
+
+    def __init__(self):
+        self.node: Optional["ComputeNode"] = None
+
+    def attach(self, node: "ComputeNode") -> None:
+        """Bind to a node; register any RPC handlers the mechanism needs."""
+        self.node = node
+
+    # -- user transaction path ------------------------------------------------
+
+    @abc.abstractmethod
+    def check_ownership(self, ctx: "TxnContext", granule: int) -> None:
+        """Data-effectiveness check (Algorithm 1 lines 2-6).
+
+        Must raise :class:`repro.engine.txn.WrongNodeError` if this node does
+        not own ``granule``; in Marlin this also takes the GTable read lock
+        that is held until commit.
+        """
+
+    @abc.abstractmethod
+    def commit_user(self, ctx: "TxnContext") -> Generator:
+        """Commit a user transaction coordinated by this node.
+
+        Raises :class:`repro.engine.txn.TxnAborted` on failure.
+        """
+
+    # -- reconfiguration operations --------------------------------------------
+
+    @abc.abstractmethod
+    def migrate(self, granule: int, src_id: int, dst_id: int) -> Generator:
+        """Run on the *destination* node: transfer ownership of ``granule``.
+
+        Returns True on commit; raises :class:`TxnAborted` on conflict.
+        """
+
+    @abc.abstractmethod
+    def add_node(self) -> Generator:
+        """Register this node in the cluster membership (AddNodeTxn)."""
+
+    @abc.abstractmethod
+    def remove_node(self, node_id: int) -> Generator:
+        """Remove ``node_id`` from the membership (DeleteNodeTxn)."""
+
+    @abc.abstractmethod
+    def recover_granules(self, dead_id: int, granules: Iterable[int]) -> Generator:
+        """Take over ``granules`` from an unresponsive node (RecoveryMigrTxn)."""
+
+    @abc.abstractmethod
+    def scan_ownership(self) -> Generator:
+        """Full granule->owner map for routing (ScanGTableTxn)."""
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def members(self) -> Dict[int, str]:
+        """Current membership view: node_id -> RPC address."""
+
+    def owned_granules(self) -> List[int]:
+        """Granules this node currently believes it owns."""
+        node = self.node
+        return sorted(
+            g for g, owner in node.gtable.items() if owner == node.node_id
+        )

@@ -1,0 +1,314 @@
+"""ExternalRuntime: coordination through an external service (the baselines).
+
+Implements the same :class:`repro.coord.base.CoordinationRuntime` interface
+as Marlin, but every coordination-state change goes through the external
+service (ZooKeeper-like or FDB-like).  The data path is identical to Marlin's
+— same engine, same 2PL, same group commit — except that WAL appends are
+*unconditional* (each node owns its WAL exclusively; the external service is
+what fences failed nodes), so the only experimental variable is where
+coordination state lives.  That mirrors the paper's methodology: "for a fair
+comparison, we implement Marlin and all baselines on this testbed".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Iterable, List
+
+from repro.coord.base import CoordinationRuntime
+from repro.core.commit import NodeParticipant, marlin_commit
+from repro.engine.locks import LockConflict
+from repro.engine.node import GTABLE, node_address
+from repro.engine.txn import AbortReason, TxnAborted, TxnContext, WrongNodeError
+from repro.sim.rpc import RemoteError, RpcTimeout
+from repro.storage.log import RecordKind
+
+__all__ = ["ExternalRuntime", "FdbClient", "ZkClient"]
+
+_OWNER_PREFIX = "/granules/"
+_MEMBER_PREFIX = "/members/"
+
+
+class ZkClient:
+    """Coordination-state operations against a ZooKeeperService."""
+
+    kind = "zookeeper"
+
+    def __init__(
+        self,
+        service_address: str = "zk",
+        client_overhead: float = 0.0,
+        session_pool: int = 2,
+    ):
+        self.address = service_address
+        self.client_overhead = client_overhead
+        self.session_pool = session_pool
+
+    def update_ownership(self, node, granule: int, owner: int) -> Generator:
+        """One leader write: znode per granule."""
+        version = yield node.endpoint.call(
+            self.address, "zk_write", f"{_OWNER_PREFIX}{granule}", owner
+        )
+        return version
+
+    def register_member(self, node, node_id: int, address: str) -> Generator:
+        yield node.endpoint.call(
+            self.address, "zk_write", f"{_MEMBER_PREFIX}{node_id}", address
+        )
+        return True
+
+    def unregister_member(self, node, node_id: int) -> Generator:
+        yield node.endpoint.call(
+            self.address, "zk_delete", f"{_MEMBER_PREFIX}{node_id}"
+        )
+        return True
+
+    def scan_ownership(self, node) -> Generator:
+        raw = yield node.endpoint.call(self.address, "zk_scan", _OWNER_PREFIX)
+        return {
+            int(path[len(_OWNER_PREFIX):]): owner for path, owner in raw.items()
+        }
+
+    def scan_members(self, node) -> Generator:
+        raw = yield node.endpoint.call(self.address, "zk_scan", _MEMBER_PREFIX)
+        return {
+            int(path[len(_MEMBER_PREFIX):]): addr for path, addr in raw.items()
+        }
+
+
+class FdbClient:
+    """Coordination-state operations against an FdbService.
+
+    Every mutation needs GetReadVersion + commit — two service round trips,
+    the structural reason FDB trails in geo-distributed settings (§6.5).
+    """
+
+    kind = "fdb"
+
+    def __init__(
+        self,
+        service_address: str = "fdb",
+        client_overhead: float = 0.0,
+        session_pool: int = 2,
+    ):
+        self.address = service_address
+        self.client_overhead = client_overhead
+        self.session_pool = session_pool
+
+    def _mutate(self, node, writes) -> Generator:
+        read_version = yield node.endpoint.call(self.address, "fdb_get_read_version")
+        yield node.endpoint.call(self.address, "fdb_commit", tuple(writes), read_version)
+        return True
+
+    def update_ownership(self, node, granule: int, owner: int) -> Generator:
+        return (
+            yield from self._mutate(node, [(f"{_OWNER_PREFIX}{granule}", owner)])
+        )
+
+    def register_member(self, node, node_id: int, address: str) -> Generator:
+        return (
+            yield from self._mutate(node, [(f"{_MEMBER_PREFIX}{node_id}", address)])
+        )
+
+    def unregister_member(self, node, node_id: int) -> Generator:
+        return (yield from self._mutate(node, [(f"{_MEMBER_PREFIX}{node_id}", None)]))
+
+    def scan_ownership(self, node) -> Generator:
+        raw = yield node.endpoint.call(self.address, "fdb_scan", _OWNER_PREFIX)
+        return {
+            int(path[len(_OWNER_PREFIX):]): owner for path, owner in raw.items()
+        }
+
+    def scan_members(self, node) -> Generator:
+        raw = yield node.endpoint.call(self.address, "fdb_scan", _MEMBER_PREFIX)
+        return {
+            int(path[len(_MEMBER_PREFIX):]): addr for path, addr in raw.items()
+        }
+
+
+class ExternalRuntime(CoordinationRuntime):
+    """Per-node runtime delegating coordination state to an external service."""
+
+    def __init__(self, client):
+        super().__init__()
+        self.client = client
+        self.kind = client.kind
+        self.reconfig_commits = 0
+        self._session = None
+
+    def attach(self, node) -> None:
+        super().attach(node)
+        node.endpoint.register("migr_prepare", self._h_migr_prepare)
+        # Each node owns its WAL exclusively under external coordination:
+        # appends are unconditional (the service, not CAS, fences failures).
+        node.wal_conditional = False
+        node.committer.conditional = False
+        # The node's coordination-service session pool: at most
+        # ``session_pool`` requests in flight, each paying client overhead.
+        from repro.sim.resources import CpuResource
+
+        self._session = CpuResource(
+            node.sim, max(1, self.client.session_pool),
+            name=f"coord-session-{node.node_id}",
+        )
+
+    def _through_session(self, op) -> Generator:
+        """Funnel one coordination-service mutation through the session pool."""
+        from repro.sim.core import Timeout
+
+        yield self._session.acquire()
+        try:
+            if self.client.client_overhead:
+                yield Timeout(self.client.client_overhead)
+            result = yield from op
+            return result
+        finally:
+            self._session.release()
+
+    # -- user path (identical structure to Marlin, unconditional appends) -------
+
+    def check_ownership(self, ctx, granule: int) -> None:
+        node = self.node
+        try:
+            node.locks.acquire(ctx.txn_id, (GTABLE, granule), False)
+        except LockConflict as conflict:
+            raise TxnAborted(AbortReason.LOCK_CONFLICT, str(conflict)) from conflict
+        owner = node.gtable.get(granule)
+        if owner != node.node_id:
+            raise WrongNodeError(granule, owner)
+
+    def commit_user(self, ctx) -> Generator:
+        node = self.node
+        remotes = getattr(ctx, "remote_participants", None)
+        if not remotes:
+            result = yield node.committer.submit(
+                ctx.txn_id, RecordKind.COMMIT_DATA, ctx.entries_for(node.glog)
+            )
+            if not result.ok:  # pragma: no cover - unconditional appends succeed
+                raise TxnAborted(AbortReason.CAS_CONFLICT, "unexpected append failure")
+            return
+        participants = [NodeParticipant(node.node_id)] + [
+            NodeParticipant(r) for r in remotes
+        ]
+        committed = yield from marlin_commit(node, ctx, participants, conditional=False)
+        if not committed:
+            raise TxnAborted(AbortReason.VALIDATION, "distributed commit aborted")
+
+    def handle_cas_failure(self, log_name: str) -> Generator:
+        return
+        yield  # pragma: no cover - generator shape, never reached
+
+    # -- reconfiguration through the external service -----------------------------
+
+    def migrate(self, granule: int, src_id: int, dst_id: int) -> Generator:
+        """Ownership transfer: the same node-side work as Marlin, plus the
+        authoritative update in the external service on the critical path."""
+        node = self.node
+        ctx = TxnContext(node.node_id, is_reconfig=True, name="MigrationTxn")
+        node.txns[ctx.txn_id] = ctx
+        try:
+            yield node.locks.acquire_async(
+                ctx.txn_id, (GTABLE, granule), True,
+                timeout=node.params.lock_wait_timeout,
+            )
+        except LockConflict as conflict:
+            node.txns.pop(ctx.txn_id, None)
+            raise TxnAborted(AbortReason.LOCK_CONFLICT, str(conflict)) from conflict
+        try:
+            yield from node.cpu.run(node.params.reconfig_cpu)
+            try:
+                owner = yield node.peer_call(
+                    src_id, "migr_prepare", ctx.txn_id, granule, dst_id,
+                    timeout=node.params.vote_timeout,
+                )
+            except RemoteError as err:
+                if isinstance(err.cause, TxnAborted):
+                    raise TxnAborted(err.cause.reason, err.cause.detail) from err
+                raise TxnAborted(AbortReason.VALIDATION, str(err)) from err
+            except RpcTimeout as err:
+                raise TxnAborted(AbortReason.NODE_FAILED, str(err)) from err
+            if owner != src_id:
+                raise WrongNodeError(granule, owner)
+            # The external service holds the authoritative mapping: update it
+            # before committing the node-side swap.  This round trip through
+            # the session pool is the baselines' critical-path cost.
+            yield from self._through_session(
+                self.client.update_ownership(node, granule, dst_id)
+            )
+            ctx.write(node.glog, GTABLE, granule, dst_id)
+            committed = yield from marlin_commit(
+                node,
+                ctx,
+                [NodeParticipant(src_id), NodeParticipant(dst_id)],
+                conditional=False,
+            )
+            if not committed:
+                raise TxnAborted(AbortReason.VALIDATION, f"migration of {granule}")
+            node.apply_committed(ctx)
+            self.reconfig_commits += 1
+        finally:
+            node.locks.release_all(ctx.txn_id)
+            node.txns.pop(ctx.txn_id, None)
+        if node.params.warmup_enabled:
+            from repro.core.reconfig import warmup_granule
+
+            yield from warmup_granule(node, granule, src_id)
+        return True
+
+    def _h_migr_prepare(self, txn_id: str, granule: int, dst_id: int):
+        node = self.node
+        owner = node.gtable.get(granule)
+        if owner != node.node_id:
+            return owner
+        try:
+            yield node.locks.acquire_async(
+                txn_id, (GTABLE, granule), True,
+                timeout=node.params.lock_wait_timeout,
+            )
+        except LockConflict as conflict:
+            raise TxnAborted(AbortReason.LOCK_CONFLICT, str(conflict)) from conflict
+        owner = node.gtable.get(granule)
+        if owner != node.node_id:
+            node.locks.release_all(txn_id)
+            return owner
+        ctx = TxnContext(node.node_id, is_reconfig=True, name="MigrationTxn-src")
+        ctx.txn_id = txn_id
+        ctx.write(node.glog, GTABLE, granule, dst_id)
+        node.txns[txn_id] = ctx
+        return node.node_id
+
+    def add_node(self) -> Generator:
+        node = self.node
+        members = yield from self.client.scan_members(node)
+        node.mtable.update(members)
+        yield from self._through_session(
+            self.client.register_member(node, node.node_id, node.address)
+        )
+        node.mtable[node.node_id] = node.address
+        self.reconfig_commits += 1
+        return True
+
+    def remove_node(self, node_id: int) -> Generator:
+        yield from self._through_session(
+            self.client.unregister_member(self.node, node_id)
+        )
+        self.node.mtable.pop(node_id, None)
+        self.reconfig_commits += 1
+        return True
+
+    def recover_granules(self, dead_id: int, granules: Iterable[int]) -> Generator:
+        """Service-arbitrated failover: flip each entry in the service."""
+        node = self.node
+        taken: List[int] = []
+        for granule in granules:
+            yield from self._through_session(
+                self.client.update_ownership(node, granule, node.node_id)
+            )
+            node.gtable[granule] = node.node_id
+            taken.append(granule)
+        return taken
+
+    def scan_ownership(self) -> Generator:
+        return (yield from self.client.scan_ownership(self.node))
+
+    def members(self) -> Dict[int, str]:
+        return dict(self.node.mtable)

@@ -1,0 +1,81 @@
+"""Autoscaling controller for dynamic workloads (§6.6).
+
+Watches offered load (active client count) on a monitoring interval and
+drives the cluster toward ``ceil(load / clients_per_node)`` nodes.  The
+paper's point is not the policy — it is that reconfiguration *speed* decides
+how quickly the policy's decisions take effect (fast scale-out restores
+latency; fast scale-in stops paying for idle nodes).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.sim.core import Timeout
+
+__all__ = ["Autoscaler"]
+
+
+class Autoscaler:
+    """Periodic scale-out/scale-in driver over a :class:`Cluster`."""
+
+    def __init__(
+        self,
+        cluster,
+        router=None,
+        interval: float = 2.0,
+        clients_per_node: float = 25.0,
+        min_nodes: int = 1,
+        max_nodes: int = 64,
+        cooldown: float = 3.0,
+    ):
+        self.cluster = cluster
+        self.router = router
+        self.interval = interval
+        self.clients_per_node = clients_per_node
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self.cooldown = cooldown
+        self._proc = None
+        self._busy = False
+        self._last_action = -math.inf
+        self.actions = []
+
+    def desired_nodes(self) -> int:
+        load = self.cluster.client_count
+        desired = math.ceil(load / self.clients_per_node) if load > 0 else self.min_nodes
+        return max(self.min_nodes, min(self.max_nodes, desired))
+
+    def start(self) -> None:
+        self._proc = self.cluster.sim.spawn(self._loop(), name="autoscaler", daemon=True)
+
+    def stop(self) -> None:
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc = None
+
+    def _loop(self):
+        while True:
+            yield Timeout(self.interval)
+            if self._busy:
+                continue
+            if self.cluster.sim.now - self._last_action < self.cooldown:
+                continue
+            desired = self.desired_nodes()
+            current = len(self.cluster.live_node_ids())
+            if desired == current:
+                continue
+            self._busy = True
+            try:
+                if desired > current:
+                    summary = yield from self.cluster.scale_out(desired - current)
+                else:
+                    victims = self.cluster.live_node_ids()[-(current - desired):]
+                    summary = yield from self.cluster.scale_in(victims)
+                self.actions.append(summary)
+                if self.router is not None:
+                    self.router.sync(self.cluster.assignment_from_views())
+            finally:
+                self._busy = False
+                self._last_action = self.cluster.sim.now

@@ -1,0 +1,135 @@
+"""Decentralized failure detection and failover (§4.4.2).
+
+Ring-based heartbeating in the style of Orleans/Chord: compute nodes in
+MTable form a ring sorted by node id and each node probes its ``k``
+successors.  After ``miss_threshold`` consecutive missed heartbeats the
+monitor initiates failover:
+
+1. read the dead node's GTable partition from storage (its GLog, replayed),
+2. take over its granules with (batched) RecoveryMigrTxn — committing into
+   the dead node's GLog directly, which simultaneously fences the node if it
+   was merely slow,
+3. remove it from MTable with DeleteNodeTxn,
+4. optionally broadcast the changes for faster cache sync (not required for
+   correctness — the paper's "Watch Notification" analogue).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Set
+
+from repro.core.reconfig import NodeNotExistError
+from repro.engine.node import GTABLE, MTABLE, glog_name
+from repro.engine.txn import TxnAborted
+from repro.sim.core import Timeout
+from repro.sim.rpc import RpcError, RpcTimeout
+from repro.storage.log import Delete, Put
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import MarlinRuntime
+
+__all__ = ["RingFailureDetector", "run_failover"]
+
+
+def run_failover(runtime: "MarlinRuntime", dead_id: int) -> Generator:
+    """Full failover of ``dead_id`` driven by the detecting node.
+
+    Idempotent and safe under concurrent detectors: RecoveryMigrTxn
+    re-validates ownership against the replayed GTable and serializes through
+    the dead node's GLog CAS; DeleteNodeTxn validates membership.
+    Returns the list of granules this node took over.
+    """
+    node = runtime.node
+    if dead_id not in node.mtable:
+        return []
+    dead_glog = glog_name(dead_id)
+    end = yield node.storage_call("log_end_lsn", dead_glog, log=dead_glog)
+    snapshot = yield node.storage_call(
+        "scan_table", GTABLE, dead_glog, end, log=dead_glog
+    )
+    granules = sorted(g for g, owner in snapshot.items() if owner == dead_id)
+    taken: List[int] = []
+    if granules:
+        taken = yield from runtime.recover_granules(dead_id, granules)
+    try:
+        yield from runtime.remove_node(dead_id)
+    except NodeNotExistError:
+        pass  # a concurrent detector already removed it
+    updates = [Put(GTABLE, g, node.node_id) for g in taken]
+    updates.append(Delete(MTABLE, dead_id))
+    runtime.broadcast_sys_update(updates)
+    if node.metrics is not None:
+        node.metrics.record_failover(node.sim.now, dead_id, len(taken))
+    return taken
+
+
+class RingFailureDetector:
+    """Per-node heartbeat monitor over the MTable ring."""
+
+    def __init__(
+        self,
+        runtime: "MarlinRuntime",
+        interval: float = 0.5,
+        timeout: float = 0.25,
+        miss_threshold: int = 3,
+        successors: int = 1,
+    ):
+        self.runtime = runtime
+        self.interval = interval
+        self.timeout = timeout
+        self.miss_threshold = miss_threshold
+        self.successors = successors
+        self._misses: Dict[int, int] = {}
+        self._handling: Set[int] = set()
+        self.failovers_started = 0
+        self._proc = None
+
+    def start(self) -> None:
+        node = self.runtime.node
+        self._proc = node.spawn(self._loop(), name=f"ring-detector-{node.node_id}")
+
+    def ring_targets(self) -> List[int]:
+        """The ``k`` successors of this node in the id-sorted MTable ring."""
+        node = self.runtime.node
+        members = node.member_ids()
+        if node.node_id not in members or len(members) < 2:
+            return []
+        index = members.index(node.node_id)
+        targets = []
+        for step in range(1, self.successors + 1):
+            succ = members[(index + step) % len(members)]
+            if succ != node.node_id and succ not in targets:
+                targets.append(succ)
+        return targets
+
+    def _loop(self):
+        node = self.runtime.node
+        while True:
+            yield Timeout(self.interval)
+            for target in self.ring_targets():
+                if target in self._handling:
+                    continue
+                try:
+                    yield node.peer_call(
+                        target, "heartbeat", node.node_id, timeout=self.timeout
+                    )
+                    self._misses[target] = 0
+                except (RpcTimeout, RpcError):
+                    misses = self._misses.get(target, 0) + 1
+                    self._misses[target] = misses
+                    if misses >= self.miss_threshold:
+                        self._handling.add(target)
+                        self.failovers_started += 1
+                        node.spawn(
+                            self._run_failover(target),
+                            name=f"failover-{node.node_id}-of-{target}",
+                        )
+
+    def _run_failover(self, dead_id: int):
+        try:
+            yield from run_failover(self.runtime, dead_id)
+        except TxnAborted:
+            pass  # lost the race to another recovering node; harmless
+        finally:
+            self._handling.discard(dead_id)
+            self._misses.pop(dead_id, None)

@@ -1,0 +1,75 @@
+"""Runtime checker for Marlin's correctness invariants (§4.5).
+
+* **I0 / I4 — Exclusive Granule Ownership**: every granule has exactly one
+  owner at any (quiescent) time.
+* **I2 — Nodes and GTables are one-one mapped**: membership is well-formed
+  and each member has exactly one GLog.
+* **I3 — Owner exists**: GTable updates swap entries, never delete, so no
+  granule is orphaned.
+* **I5 — Exclusive UserTxn service**: only the owner's view admits a commit
+  path, i.e. live nodes' authoritative views never overlap.
+
+The checker runs against the ground truth (the replayed page store) and,
+optionally, against live nodes' views.  Integration tests attach it at
+quiescent points of scale-out / failover runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Optional
+
+__all__ = ["InvariantViolation", "check_invariants", "check_view_consistency"]
+
+
+class InvariantViolation(AssertionError):
+    """One of Marlin's invariants does not hold."""
+
+
+def check_invariants(
+    gtable_snapshot: Dict[int, int],
+    num_granules: int,
+    membership: Optional[Dict[int, str]] = None,
+) -> None:
+    """Validate the ground-truth GTable (replayed page store).
+
+    ``gtable_snapshot`` maps granule -> owner node id; ``membership`` (when
+    given) is the MTable snapshot owners must belong to.
+    """
+    for granule in range(num_granules):
+        if granule not in gtable_snapshot:
+            raise InvariantViolation(f"I3 violated: granule {granule} has no owner")
+    extra = set(gtable_snapshot) - set(range(num_granules))
+    if extra:
+        raise InvariantViolation(f"unknown granules in GTable: {sorted(extra)}")
+    if membership is not None:
+        for granule, owner in sorted(gtable_snapshot.items()):
+            if owner not in membership:
+                raise InvariantViolation(
+                    f"I2 violated: granule {granule} owned by non-member {owner}"
+                )
+
+
+def check_view_consistency(nodes: Iterable, num_granules: int) -> None:
+    """Validate I4/I5 across live nodes' *authoritative* views.
+
+    Each live node is authoritative for the granules it believes it owns; no
+    two live nodes may claim the same granule, and every granule must be
+    claimed by some live node (quiescent cluster).
+    """
+    claims = defaultdict(list)
+    for node in nodes:
+        if getattr(node, "frozen", False):
+            continue
+        for granule in node.owned_granules():
+            claims[granule].append(node.node_id)
+    for granule, owners in sorted(claims.items()):
+        if len(owners) > 1:
+            raise InvariantViolation(
+                f"I4 violated: granule {granule} claimed by {owners}"
+            )
+    for granule in range(num_granules):
+        if not claims.get(granule):
+            raise InvariantViolation(
+                f"I5 violated: granule {granule} claimed by no live node"
+            )

@@ -1,0 +1,156 @@
+"""Executable port of the appendix TLA+ / PlusCal migration model.
+
+The paper model-checks Marlin's migration protocol on symbolic inputs of
+3 nodes, 6 granules and 6 migrations with two invariants: *NoDualOwnership*
+and *HasOneOwnership*.  This module reimplements the same state machine —
+per-node GLogs of ownership updates, per-node materialised GTables, and the
+two actions ``DoMigrate`` / ``DoRefresh`` — so hypothesis/pytest can explore
+random interleavings far larger than the TLC configuration.
+
+The model is deliberately storage-level (no RPC, no latency): it captures
+exactly what the TLA+ spec captures, the commutativity of migration pushes
+and refresh gossip.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["MigrationModel", "ModelViolation", "Update"]
+
+
+class ModelViolation(AssertionError):
+    """A model invariant (NoDualOwnership / HasOneOwnership) failed."""
+
+
+@dataclass(frozen=True)
+class Update:
+    """One GTable update action: granule ``gran`` moved ``old`` -> ``new``."""
+
+    uid: int
+    gran: int
+    old: int
+    new: int
+
+
+class MigrationModel:
+    """State machine mirroring the PlusCal algorithm ``Marlin``."""
+
+    def __init__(self, nodes: Sequence[int], granules: Sequence[int], num_migrations: int):
+        if len(granules) < len(nodes):
+            raise ValueError("spec assumption: |granules| >= |nodes|")
+        self.nodes = list(nodes)
+        self.granules = list(granules)
+        self.num_migrations = num_migrations
+        #: storage.glogs — per node, the log of updates it has appended.
+        self.glogs: Dict[int, List[Update]] = {n: [] for n in self.nodes}
+        #: storage.gtabs — per node, its materialised view granule -> owner.
+        init = {
+            g: self.nodes[i % len(self.nodes)] for i, g in enumerate(self.granules)
+        }
+        self.gtabs: Dict[int, Dict[int, int]] = {n: dict(init) for n in self.nodes}
+        self.next_update_id = 0
+        self.num_done = 0
+
+    # -- actions -----------------------------------------------------------------
+
+    def enabled_migrations(self) -> List[Tuple[int, int, int]]:
+        """All ``(src, granule, dst)`` with both views agreeing src owns granule."""
+        if self.num_done >= self.num_migrations:
+            return []
+        moves = []
+        for n in self.nodes:
+            for g in self.granules:
+                if self.gtabs[n][g] != n:
+                    continue
+                for p in self.nodes:
+                    if p != n and self.gtabs[p][g] == n:
+                        moves.append((n, g, p))
+        return moves
+
+    def do_migrate(self, src: int, gran: int, dst: int) -> None:
+        """DoMigrate: append the swap to both logs, materialise both views."""
+        if self.gtabs[src][gran] != src or self.gtabs[dst][gran] != src:
+            raise ValueError("migration precondition violated")
+        update = Update(self.next_update_id, gran, src, dst)
+        self.next_update_id += 1
+        self.glogs[src].append(update)
+        self.glogs[dst].append(update)
+        self.gtabs[src][gran] = dst
+        self.gtabs[dst][gran] = dst
+        self.num_done += 1
+
+    def enabled_refreshes(self) -> List[Tuple[int, Update]]:
+        """All ``(node, update)`` pairs where gossip of ``update`` applies."""
+        refreshes = []
+        for n in self.nodes:
+            seen = {u.uid for u in self.glogs[n]}
+            for p in self.nodes:
+                if p == n:
+                    continue
+                for u in self.glogs[p]:
+                    if u.uid not in seen and self.gtabs[n][u.gran] == u.old:
+                        refreshes.append((n, u))
+        return refreshes
+
+    def do_refresh(self, node: int, update: Update) -> None:
+        """DoRefresh: adopt a peer's update this node has not seen yet."""
+        if self.gtabs[node][update.gran] != update.old:
+            raise ValueError("refresh precondition violated")
+        self.glogs[node].append(update)
+        self.gtabs[node][update.gran] = update.new
+
+    # -- exploration ----------------------------------------------------------------
+
+    def step(self, rng: random.Random) -> bool:
+        """Take one random enabled action; False when none is enabled."""
+        migrations = self.enabled_migrations()
+        refreshes = self.enabled_refreshes()
+        total = len(migrations) + len(refreshes)
+        if total == 0:
+            return False
+        pick = rng.randrange(total)
+        if pick < len(migrations):
+            self.do_migrate(*migrations[pick])
+        else:
+            node, update = refreshes[pick - len(migrations)]
+            self.do_refresh(node, update)
+        return True
+
+    def run(self, seed: int = 0, check_each_step: bool = True) -> int:
+        """Explore one random trace to quiescence; returns steps taken."""
+        rng = random.Random(seed)
+        steps = 0
+        while self.step(rng):
+            steps += 1
+            if check_each_step:
+                self.check_invariants()
+        self.check_invariants()
+        return steps
+
+    # -- invariants (from Marlin_MC) ---------------------------------------------------
+
+    def check_no_dual_ownership(self) -> None:
+        for g in self.granules:
+            owners = [n for n in self.nodes if self.gtabs[n][g] == n]
+            if len(owners) > 1:
+                raise ModelViolation(f"NoDualOwnership: granule {g} owned by {owners}")
+
+    def check_has_one_ownership(self) -> None:
+        for g in self.granules:
+            if not any(self.gtabs[n][g] == n for n in self.nodes):
+                raise ModelViolation(f"HasOneOwnership: granule {g} has no owner")
+
+    def check_invariants(self) -> None:
+        self.check_no_dual_ownership()
+        self.check_has_one_ownership()
+
+    @property
+    def terminated(self) -> bool:
+        """All migrations done and every node's view converged (spec's goal)."""
+        if self.num_done < self.num_migrations:
+            return False
+        views = [tuple(sorted(self.gtabs[n].items())) for n in self.nodes]
+        return len(set(views)) == 1

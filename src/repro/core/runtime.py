@@ -1,0 +1,233 @@
+"""MarlinRuntime: the integrated coordination mechanism, per node (§4).
+
+Binds the system tables (MTable / GTable views), MarlinCommit, the
+reconfiguration transactions and the ClearMetaCache/refresh path to a compute
+node.  The external-service baselines implement the same interface in
+``repro.coord.external`` — swapping the runtime is the only difference
+between a Marlin cluster and a ZooKeeper/FDB cluster in this repo, exactly
+the experimental control the paper's evaluation needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Iterable, List, Optional
+
+from repro.coord.base import CoordinationRuntime
+from repro.core import reconfig
+from repro.core.commit import NodeParticipant, marlin_commit, terminate_in_doubt
+from repro.engine.locks import LockConflict
+from repro.engine.node import GTABLE, MTABLE, SYSLOG, glog_name
+from repro.engine.txn import AbortReason, TxnAborted, TxnContext, WrongNodeError
+from repro.storage.log import RecordKind
+
+__all__ = ["MarlinRuntime"]
+
+
+class MarlinRuntime(CoordinationRuntime):
+    """Coordination state lives in the database itself; Meta cost is zero."""
+
+    kind = "marlin"
+
+    def __init__(self):
+        super().__init__()
+        self._refreshing: Dict[str, object] = {}
+        self.cas_failures = 0
+        self.refreshes = 0
+        self.reconfig_commits = 0
+
+    def attach(self, node) -> None:
+        super().attach(node)
+        node.endpoint.register("migr_prepare", self._h_migr_prepare)
+        node.endpoint.register("run_recovery", self._h_run_recovery)
+        node.endpoint.register("sys_update", self._h_sys_update)
+
+    # -- user transaction path --------------------------------------------------
+
+    def check_ownership(self, ctx, granule: int) -> None:
+        """Algorithm 1 lines 2-6 plus the GTable read lock held to commit."""
+        node = self.node
+        try:
+            node.locks.acquire(ctx.txn_id, (GTABLE, granule), False)
+        except LockConflict as conflict:
+            raise TxnAborted(AbortReason.LOCK_CONFLICT, str(conflict)) from conflict
+        owner = node.gtable.get(granule)
+        if owner != node.node_id:
+            raise WrongNodeError(granule, owner)
+
+    def commit_user(self, ctx) -> Generator:
+        node = self.node
+        remotes = getattr(ctx, "remote_participants", None)
+        if not remotes:
+            # One-phase commit through group commit (TryLog on our own GLog).
+            result = yield node.committer.submit(
+                ctx.txn_id, RecordKind.COMMIT_DATA, ctx.entries_for(node.glog)
+            )
+            if not result.ok:
+                self.cas_failures += 1
+                yield from self.handle_cas_failure(node.glog)
+                raise TxnAborted(
+                    AbortReason.CAS_CONFLICT, f"cross-node append on {node.glog}"
+                )
+            return
+        participants = [NodeParticipant(node.node_id)] + [
+            NodeParticipant(r) for r in remotes
+        ]
+        committed = yield from marlin_commit(node, ctx, participants)
+        if not committed:
+            raise TxnAborted(AbortReason.CAS_CONFLICT, "distributed commit aborted")
+
+    # -- ClearMetaCache + refresh (§4.3.2) ----------------------------------------
+
+    def handle_cas_failure(self, log_name: str) -> Generator:
+        """A conditional append failed: another node modified ``log_name``.
+
+        ClearMetaCache semantics: the stale cached system-table state derived
+        from that log (MTable for SysLog, a GTable partition for a GLog) is
+        discarded and rebuilt by reading the records this node missed.
+        Concurrent failures on the same log coalesce into one refresh.
+        """
+        node = self.node
+        pending = self._refreshing.get(log_name)
+        if pending is not None:
+            yield pending
+            return
+        fut = node.sim.event(name=f"refresh:{log_name}")
+        self._refreshing[log_name] = fut
+        try:
+            self.refreshes += 1
+            cursor = node.view_cursor.get(log_name, 0)
+            records = yield node.storage_call("read_log", log_name, cursor, log=log_name)
+            yield from self._apply_records(log_name, records)
+            if records:
+                node.view_cursor[log_name] = max(
+                    node.view_cursor.get(log_name, 0), records[-1].lsn
+                )
+        finally:
+            self._refreshing.pop(log_name, None)
+            fut.resolve()
+
+    def ensure_view(self, log_name: str) -> Generator:
+        """Load the view from a log this node has never observed (bootstrap)."""
+        if log_name in self.node.view_cursor:
+            return
+        yield from self.handle_cas_failure(log_name)
+        self.node.view_cursor.setdefault(log_name, 0)
+
+    def _apply_records(self, log_name: str, records) -> Generator:
+        """Fold missed log records into the local views.
+
+        Two-phase records are applied only once their outcome is known: from
+        a decision record in the same slice when available, otherwise through
+        the Cornus-style termination protocol.
+        """
+        node = self.node
+        decided: Dict[str, bool] = {}
+        for record in records:
+            if record.kind is RecordKind.DECISION_COMMIT:
+                decided[record.txn_id] = True
+            elif record.kind is RecordKind.DECISION_ABORT:
+                decided[record.txn_id] = False
+        for record in records:
+            if record.kind is RecordKind.COMMIT_DATA:
+                node.apply_system_entries(record.entries)
+            elif record.kind is RecordKind.VOTE_YES:
+                outcome = decided.get(record.txn_id)
+                if outcome is None:
+                    if record.txn_id in node.txns:
+                        continue  # our own in-flight transaction
+                    outcome = yield from terminate_in_doubt(
+                        node,
+                        record.txn_id,
+                        record.participants or (log_name,),
+                    )
+                if outcome:
+                    node.apply_system_entries(record.entries)
+
+    # -- reconfiguration entry points ----------------------------------------------
+
+    def migrate(self, granule: int, src_id: int, dst_id: int) -> Generator:
+        if dst_id != self.node.node_id:
+            raise ValueError("MigrationTxn must run on the destination node")
+        return (yield from reconfig.migration_txn(self, granule, src_id))
+
+    def add_node(self) -> Generator:
+        return (
+            yield from reconfig.run_with_retries(
+                self.node, lambda: reconfig.add_node_txn(self)
+            )
+        )
+
+    def remove_node(self, node_id: int) -> Generator:
+        return (
+            yield from reconfig.run_with_retries(
+                self.node, lambda: reconfig.delete_node_txn(self, node_id)
+            )
+        )
+
+    def recover_granules(self, dead_id: int, granules: Iterable[int]) -> Generator:
+        granules = list(granules)
+
+        def attempt():
+            def inner():
+                committed, taken = yield from reconfig.recovery_migr_txn(
+                    self, granules, dead_id
+                )
+                return (committed, taken) if committed else False
+
+            return inner()
+
+        result = yield from reconfig.run_with_retries(self.node, attempt)
+        if result is False:
+            raise TxnAborted(AbortReason.CAS_CONFLICT, "recovery kept conflicting")
+        return result[1]
+
+    def scan_ownership(self) -> Generator:
+        return (yield from reconfig.scan_gtable_txn(self))
+
+    def members(self) -> Dict[int, str]:
+        return {m: self.node.mtable[m] for m in self.node.member_ids()}
+
+    # -- Marlin-specific RPC handlers -------------------------------------------------
+
+    def _h_migr_prepare(self, txn_id: str, granule: int, dst_id: int):
+        """Source side of MigrationTxn (lines 20-22): validate, lock, stage.
+
+        The write lock waits (bounded) behind in-flight user transactions on
+        the granule, per §4.4.1's 2PL narration.
+        """
+        node = self.node
+        owner = node.gtable.get(granule)
+        if owner != node.node_id:
+            return owner  # destination sees the mismatch and aborts (line 26)
+        try:
+            yield node.locks.acquire_async(
+                txn_id, (GTABLE, granule), True,
+                timeout=node.params.lock_wait_timeout,
+            )
+        except LockConflict as conflict:
+            raise TxnAborted(AbortReason.LOCK_CONFLICT, str(conflict)) from conflict
+        owner = node.gtable.get(granule)
+        if owner != node.node_id:  # lost ownership while waiting
+            node.locks.release_all(txn_id)
+            return owner
+        ctx = TxnContext(node.node_id, is_reconfig=True, name="MigrationTxn-src")
+        ctx.txn_id = txn_id
+        ctx.write(node.glog, GTABLE, granule, dst_id)
+        node.txns[txn_id] = ctx
+        return node.node_id
+
+    def _h_run_recovery(self, granules, src_id: int):
+        """Run RecoveryMigrTxn here (lets a detector spread recovery work)."""
+        taken = yield from self.recover_granules(src_id, granules)
+        return taken
+
+    def _h_sys_update(self, entries):
+        """Optional broadcast of committed system-table changes (§4.4)."""
+        self.node.apply_system_entries(entries)
+
+    def broadcast_sys_update(self, entries) -> None:
+        """Best-effort push to all members (the paper's optional broadcast)."""
+        node = self.node
+        for nid in node.member_ids():
+            if nid != node.node_id:
+                node.endpoint.cast(f"node-{nid}", "sys_update", tuple(entries))

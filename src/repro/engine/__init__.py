@@ -1,0 +1,33 @@
+"""Compute-layer OLTP engine substrate (the paper's Sundial-derived testbed, §5).
+
+Stateless compute nodes with a transaction manager (2PL NO_WAIT concurrency
+control), a clock-replacement cache manager, group commit, and granule-based
+data partitioning.  Coordination behaviour (Marlin vs. an external service) is
+plugged in as a *runtime* — see ``repro.core`` and ``repro.coord``.
+"""
+
+from repro.engine.buffer import MISS, CacheManager
+from repro.engine.granule import GranuleMap, contiguous_assignment, rebalance_plan
+from repro.engine.locks import LockConflict, LockTable
+from repro.engine.txn import (
+    AbortReason,
+    TxnAborted,
+    TxnContext,
+    TxnStatus,
+    WrongNodeError,
+)
+
+__all__ = [
+    "AbortReason",
+    "CacheManager",
+    "GranuleMap",
+    "LockConflict",
+    "LockTable",
+    "MISS",
+    "TxnAborted",
+    "TxnContext",
+    "TxnStatus",
+    "WrongNodeError",
+    "contiguous_assignment",
+    "rebalance_plan",
+]

@@ -1,0 +1,185 @@
+"""Two-phase locking: NO_WAIT for user transactions, waiting for reconfig.
+
+"By default, all transactions follow serializable isolation through the
+NO_WAIT protocol which avoids deadlocks": a conflicting user lock request
+aborts the requester immediately instead of blocking.  Reconfiguration
+transactions, however, *wait* — §4.4.1: "an ongoing user transaction on N2
+holds a write lock on G3, blocking the MigrationTxn from acquiring its
+required write lock until the user transaction commits" — via
+:meth:`LockTable.acquire_async`, which queues FIFO with a timeout (the
+deadlock bound).  Queued waiters also block new NO_WAIT acquisitions, so a
+migration cannot be starved by a stream of user readers.
+
+Lock keys are opaque tuples — user records lock ``(table, key)``, GTable
+entries lock ``("gtable", gid)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Set, Tuple
+
+__all__ = ["LockConflict", "LockTable"]
+
+
+class LockConflict(Exception):
+    """NO_WAIT: raised instead of blocking on a conflicting lock."""
+
+    def __init__(self, key, holders: Set[str]):
+        super().__init__(f"lock conflict on {key!r}, held by {sorted(holders)}")
+        self.key = key
+        self.holders = set(holders)
+
+
+class _Lock:
+    __slots__ = ("exclusive", "holders", "waiters")
+
+    def __init__(self):
+        self.exclusive = False
+        self.holders: Set[str] = set()
+        #: FIFO of (txn_id, exclusive, future) waiting-mode requests.
+        self.waiters: Deque[tuple] = deque()
+
+
+class LockTable:
+    """Per-node lock manager.  Shared/exclusive modes, strict 2PL release."""
+
+    def __init__(self, sim=None):
+        self.sim = sim
+        self._locks: Dict[object, _Lock] = {}
+        self._held_by_txn: Dict[str, Set[object]] = {}
+        self.conflicts = 0
+        self.acquisitions = 0
+        self.waits = 0
+
+    def acquire(self, txn_id: str, key: object, exclusive: bool) -> None:
+        """Grant the lock or raise :class:`LockConflict` (NO_WAIT)."""
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = self._locks[key] = _Lock()
+        if txn_id in lock.holders:
+            if exclusive and not lock.exclusive:
+                # Upgrade S -> X permitted only for a sole holder.
+                if len(lock.holders) > 1 or lock.waiters:
+                    self.conflicts += 1
+                    raise LockConflict(key, lock.holders - {txn_id})
+                lock.exclusive = True
+            self.acquisitions += 1
+            return
+        blocked = bool(lock.waiters) or (
+            lock.holders and (exclusive or lock.exclusive)
+        )
+        if blocked:
+            self.conflicts += 1
+            raise LockConflict(key, lock.holders or {w[0] for w in lock.waiters})
+        self._grant(lock, txn_id, key, exclusive)
+
+    def acquire_async(
+        self,
+        txn_id: str,
+        key: object,
+        exclusive: bool,
+        timeout: Optional[float] = None,
+    ):
+        """Waiting-mode acquisition (reconfiguration transactions).
+
+        Returns a future that resolves when the lock is granted, or fails
+        with :class:`LockConflict` if ``timeout`` elapses first (bounding any
+        cross-node wait cycle).  Requires a simulator-backed lock table.
+        """
+        if self.sim is None:
+            raise RuntimeError("acquire_async needs LockTable(sim=...)")
+        fut = self.sim.event(name=f"lock:{key}")
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = self._locks[key] = _Lock()
+        compatible = txn_id in lock.holders or (
+            not lock.waiters
+            and not (lock.holders and (exclusive or lock.exclusive))
+        )
+        if compatible and txn_id in lock.holders and exclusive and not lock.exclusive:
+            compatible = len(lock.holders) == 1 and not lock.waiters
+        if compatible:
+            if txn_id in lock.holders:
+                if exclusive:
+                    lock.exclusive = True
+                self.acquisitions += 1
+            else:
+                self._grant(lock, txn_id, key, exclusive)
+            fut.resolve()
+            return fut
+        entry = (txn_id, exclusive, fut)
+        lock.waiters.append(entry)
+        self.waits += 1
+        if timeout is not None:
+            def expire():
+                if not fut.done:
+                    try:
+                        lock.waiters.remove(entry)
+                    except ValueError:
+                        pass
+                    self.conflicts += 1
+                    fut.fail(LockConflict(key, lock.holders))
+            self.sim.call_after(timeout, expire)
+        return fut
+
+    def _grant(self, lock: _Lock, txn_id: str, key: object, exclusive: bool) -> None:
+        lock.exclusive = exclusive
+        lock.holders.add(txn_id)
+        self._held_by_txn.setdefault(txn_id, set()).add(key)
+        self.acquisitions += 1
+
+    def _wake_waiters(self, key: object, lock: _Lock) -> None:
+        while lock.waiters:
+            txn_id, exclusive, fut = lock.waiters[0]
+            if fut.done:  # timed out; drop
+                lock.waiters.popleft()
+                continue
+            if lock.holders and (exclusive or lock.exclusive):
+                break
+            lock.waiters.popleft()
+            self._grant(lock, txn_id, key, exclusive)
+            fut.resolve()
+            if exclusive:
+                break
+
+    def release_all(self, txn_id: str) -> None:
+        """Strict 2PL: drop every lock the transaction holds (commit/abort)."""
+        for key in self._held_by_txn.pop(txn_id, ()):
+            lock = self._locks.get(key)
+            if lock is None:
+                continue
+            lock.holders.discard(txn_id)
+            if not lock.holders:
+                lock.exclusive = False
+                self._wake_waiters(key, lock)
+                if not lock.holders and not lock.waiters:
+                    del self._locks[key]
+            else:
+                # Remaining holders of a shared lock keep it shared.
+                lock.exclusive = False
+                self._wake_waiters(key, lock)
+
+    def holders(self, key: object) -> Set[str]:
+        lock = self._locks.get(key)
+        return set(lock.holders) if lock else set()
+
+    def is_exclusive(self, key: object) -> bool:
+        lock = self._locks.get(key)
+        return bool(lock and lock.exclusive)
+
+    def held_by(self, txn_id: str) -> Set[object]:
+        return set(self._held_by_txn.get(txn_id, ()))
+
+    def waiting(self, key: object) -> int:
+        lock = self._locks.get(key)
+        return len(lock.waiters) if lock else 0
+
+    def clear(self) -> None:
+        """Drop all state (node crash: in-memory locks are lost)."""
+        for key, lock in list(self._locks.items()):
+            for txn_id, _exclusive, fut in lock.waiters:
+                if not fut.done:
+                    fut.fail(LockConflict(key, set()))
+        self._locks.clear()
+        self._held_by_txn.clear()

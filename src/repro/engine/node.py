@@ -1,0 +1,585 @@
+"""Stateless compute nodes (§3.2, §5).
+
+A :class:`ComputeNode` owns a partition of granules, executes user
+transactions under 2PL NO_WAIT, commits through group commit to its WAL
+(GLog) on disaggregated storage, and serves the RPC surface that both Marlin
+and the external-coordination baselines build on:
+
+* ``user_txn`` — client-facing transaction execution,
+* ``user_branch`` / ``branch_abort`` — remote branches of distributed
+  transactions (TPC-C multi-warehouse),
+* ``vote_req`` / ``decision`` — 2PC participant protocol (driven by
+  MarlinCommit or standard 2PC),
+* ``warmup_pull`` — Squall-style cache warm-up scans during migration,
+* ``heartbeat`` — ring failure detection.
+
+Nodes can *freeze* (stop responding, keep memory — the paper's "temporary
+slowdown" in Figure 7) and later resume with stale state, which is exactly
+the race MarlinCommit must win.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.engine.buffer import MISS, CacheManager
+from repro.engine.granule import GranuleMap
+from repro.engine.group_commit import GroupCommitter
+from repro.engine.locks import LockConflict, LockTable
+from repro.engine.txn import (
+    AbortReason,
+    TxnAborted,
+    TxnContext,
+    WrongNodeError,
+)
+from repro.sim.core import Future, Simulator, Timeout, all_of
+from repro.sim.network import Network
+from repro.sim.resources import CpuResource, Mutex
+from repro.sim.rpc import RemoteError, RpcEndpoint, RpcTimeout
+from repro.storage.log import AppendResult, Delete, Put, RecordKind
+
+__all__ = ["ComputeNode", "NodeParams", "TxnOp", "TxnSpec", "node_address"]
+
+
+def node_address(node_id: int) -> str:
+    return f"node-{node_id}"
+
+
+def glog_name(node_id: int) -> str:
+    return f"glog-{node_id}"
+
+
+SYSLOG = "syslog"
+GTABLE = "gtable"
+MTABLE = "mtable"
+
+
+@dataclass(frozen=True)
+class TxnOp:
+    """One operation of a user transaction."""
+
+    write: bool
+    table: str
+    key: int
+
+
+@dataclass(frozen=True)
+class TxnSpec:
+    """A user transaction as shipped by a client: an ordered tuple of ops."""
+
+    ops: Tuple[TxnOp, ...]
+
+    @property
+    def home_key(self) -> int:
+        return self.ops[0].key
+
+
+@dataclass
+class NodeParams:
+    """Calibration constants for one compute node (Standard D4s v3 class)."""
+
+    vcpus: int = 4
+    cache_pages: int = 8192
+    keys_per_page: int = 8
+    #: CPU seconds consumed per user operation (execution path).
+    op_cpu: float = 80e-6
+    #: Extra non-CPU latency per op (interactive client round trips, §5).
+    interactive_delay: float = 400e-6
+    #: CPU seconds for a reconfiguration transaction's local work.
+    reconfig_cpu: float = 120e-6
+    rpc_timeout: float = 5.0
+    vote_timeout: float = 2.0
+    #: How long a reconfiguration transaction waits for a lock before
+    #: aborting (bounds any cross-node wait cycle).
+    lock_wait_timeout: float = 1.0
+    #: Concurrent MigrationTxn workers when this node is a migration target.
+    migration_workers: int = 8
+    warmup_enabled: bool = True
+    #: Source-side scan time to stream one granule's pages (64 KB @ ~2 Gbps).
+    warmup_time_per_granule: float = 500e-6
+    group_commit_batch: int = 64
+
+
+class ComputeNode:
+    """One read-write compute node of the Partitioned-Writer database."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        region: str,
+        storage_address: str,
+        granule_map: GranuleMap,
+        params: Optional[NodeParams] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.region = region
+        self.storage_address = storage_address
+        self.gmap = granule_map
+        self.params = params or NodeParams()
+        self.address = node_address(node_id)
+        self.glog = glog_name(node_id)
+
+        self.endpoint = RpcEndpoint(sim, network, self.address, region)
+        #: log name -> storage address (shared, cluster-maintained).
+        self.log_directory: Dict[str, str] = {}
+        self.cpu = CpuResource(sim, self.params.vcpus, name=f"cpu-{node_id}")
+        self.locks = LockTable(sim)
+        self.cache = CacheManager(self.params.cache_pages)
+
+        #: H-LSN per log: highest LSN this node successfully appended/observed.
+        self.lsn_tracker: Dict[str, int] = {}
+        #: Highest LSN per log whose effects are applied to local views.
+        self.view_cursor: Dict[str, int] = {}
+        #: This node's view of GTable: granule -> owner node id.
+        self.gtable: Dict[int, int] = {}
+        #: This node's cached MTable: node id -> address.
+        self.mtable: Dict[int, str] = {}
+        #: In-flight transaction contexts by txn id (locals and branches).
+        self.txns: Dict[str, TxnContext] = {}
+
+        self._log_gates: Dict[str, Mutex] = {}
+        self.committer = GroupCommitter(
+            self, self.glog, max_batch=self.params.group_commit_batch
+        )
+        self.runtime = None  # attached by the cluster
+        self.metrics = None  # optional cluster-level MetricsCollector
+        #: False under external coordination (WALs are exclusively owned).
+        self.wal_conditional = True
+        self.frozen = False
+        self._procs: List = []
+
+        self.stats = {
+            "committed": 0,
+            "aborted": 0,
+            "wrong_node": 0,
+            "lock_conflicts": 0,
+            "cas_aborts": 0,
+            "branches_served": 0,
+        }
+
+        for method, handler in (
+            ("user_txn", self._h_user_txn),
+            ("user_branch", self._h_user_branch),
+            ("branch_abort", self._h_branch_abort),
+            ("vote_req", self._h_vote_req),
+            ("decision", self._h_decision),
+            ("warmup_pull", self._h_warmup_pull),
+            ("heartbeat", self._h_heartbeat),
+            ("owned_granules", self._h_owned_granules),
+            ("scan_gtable", self._h_scan_gtable),
+            ("run_migrations", self._h_run_migrations),
+        ):
+            self.endpoint.register(method, handler)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        self.committer.start()
+
+    def spawn(self, gen, name: str = "") -> object:
+        proc = self.sim.spawn(gen, name=name or f"node-{self.node_id}", daemon=True)
+        self._procs.append(proc)
+        return proc
+
+    def freeze(self) -> None:
+        """Stop responding but keep memory (the paper's unhealthy-node state).
+
+        In-flight work is dropped and local locks are cleared (their
+        transactions can never commit — the WAL is the ground truth), but the
+        LSN trackers and table views stay *stale*, setting up the race that
+        MarlinCommit resolves when the node comes back.
+        """
+        self.frozen = True
+        self.endpoint.crashed = True
+        self.endpoint.kill_processes()
+        for proc in self._procs:
+            proc.kill()
+        self._procs.clear()
+        self.committer.stop()
+        self.locks.clear()
+        self.txns.clear()
+        self._log_gates.clear()
+
+    def unfreeze(self) -> None:
+        """Resume with whatever (possibly stale) state is in memory."""
+        self.frozen = False
+        self.endpoint.crashed = False
+        self.committer = GroupCommitter(
+            self,
+            self.glog,
+            max_batch=self.params.group_commit_batch,
+            conditional=self.wal_conditional,
+        )
+        self.committer.start()
+
+    def stop(self) -> None:
+        """Permanent shutdown (scale-in or unrecoverable crash)."""
+        self.freeze()
+
+    # -- small helpers -----------------------------------------------------------
+
+    def log_gate(self, log_name: str) -> Mutex:
+        gate = self._log_gates.get(log_name)
+        if gate is None:
+            gate = self._log_gates[log_name] = Mutex(
+                self.sim, name=f"gate-{self.node_id}-{log_name}"
+            )
+        return gate
+
+    def storage_call(self, method: str, *args, log: Optional[str] = None) -> Future:
+        """Call the storage service hosting ``log`` (own region by default).
+
+        Logs live in their creating node's region (§6.5 co-locates storage
+        with compute), so cross-region operations — e.g. RecoveryMigrTxn
+        against a remote node's GLog — pay the corresponding network latency.
+        """
+        address = self.storage_address
+        if log is not None:
+            address = self.log_directory.get(log, self.storage_address)
+        return self.endpoint.call(address, method, *args)
+
+    def peer_call(self, peer_id: int, method: str, *args, timeout=None) -> Future:
+        return self.endpoint.call(
+            node_address(peer_id), method, *args, timeout=timeout
+        )
+
+    def owned_granules(self) -> List[int]:
+        return sorted(g for g, o in self.gtable.items() if o == self.node_id)
+
+    def member_ids(self) -> List[int]:
+        """Member node ids from the MTable view (ignores auxiliary rows,
+        e.g. suspicion votes, which share the table)."""
+        return sorted(m for m in self.mtable if isinstance(m, int))
+
+    def page_of(self, table: str, key: int) -> Tuple[str, int]:
+        return (table, key // self.params.keys_per_page)
+
+    def try_log(
+        self,
+        log_name: str,
+        txn_id: str,
+        kind: RecordKind,
+        entries: tuple,
+        conditional: bool = True,
+        participants: tuple = (),
+    ) -> Generator:
+        """TryLog (Algorithm 2 lines 13-21): one gated conditional append.
+
+        Returns the :class:`AppendResult`; on failure the tracker is updated
+        with the log's current LSN so the caller can refresh and retry.
+        """
+        gate = self.log_gate(log_name)
+        yield gate.acquire()
+        try:
+            expected = None
+            if conditional:
+                expected = self.lsn_tracker.get(log_name)
+                if expected is None:
+                    expected = yield self.storage_call(
+                        "log_end_lsn", log_name, log=log_name
+                    )
+            result: AppendResult = yield self.storage_call(
+                "append", log_name, txn_id, kind, entries, expected, participants,
+                log=log_name,
+            )
+            self.lsn_tracker[log_name] = result.lsn
+            return result
+        finally:
+            gate.release()
+
+    def apply_system_entries(self, entries) -> None:
+        """Fold committed GTable/MTable updates into this node's views."""
+        for entry in entries:
+            if isinstance(entry, Put):
+                if entry.table == GTABLE:
+                    self.gtable[entry.key] = entry.value
+                elif entry.table == MTABLE:
+                    self.mtable[entry.key] = entry.value
+            elif isinstance(entry, Delete):
+                if entry.table == GTABLE:
+                    self.gtable.pop(entry.key, None)
+                elif entry.table == MTABLE:
+                    self.mtable.pop(entry.key, None)
+
+    def _apply_user_entries(self, entries) -> None:
+        for entry in entries:
+            if isinstance(entry, Put) and entry.table not in (GTABLE, MTABLE):
+                page = self.page_of(entry.table, entry.key)
+                if self.cache.get(page) is not MISS:
+                    self.cache.put(page, {"warm": True})
+
+    def apply_committed(self, ctx: TxnContext) -> None:
+        entries = ctx.entries_for(self.glog)
+        self.apply_system_entries(entries)
+        self._apply_user_entries(entries)
+        self.view_cursor[self.glog] = self.lsn_tracker.get(self.glog, 0)
+
+    # -- user transaction execution ----------------------------------------------
+
+    def _h_user_txn(self, spec: TxnSpec):
+        ctx = TxnContext(self.node_id)
+        self.txns[ctx.txn_id] = ctx
+        ctx.start_time = self.sim.now
+        try:
+            local_ops, remote_ops = self._partition_ops(ctx, spec)
+            self._acquire_and_stage(ctx, local_ops)
+            yield from self._execute_ops(ctx, local_ops)
+            if remote_ops:
+                yield from self._send_branches(ctx, remote_ops)
+            yield from self.runtime.commit_user(ctx)
+            self.apply_committed(ctx)
+            self.locks.release_all(ctx.txn_id)
+            ctx.mark_committed()
+            self.stats["committed"] += 1
+            return {"status": "committed"}
+        except TxnAborted as abort:
+            self.locks.release_all(ctx.txn_id)
+            ctx.mark_aborted(abort.reason)
+            self.stats["aborted"] += 1
+            if abort.reason is AbortReason.WRONG_NODE:
+                self.stats["wrong_node"] += 1
+            elif abort.reason is AbortReason.LOCK_CONFLICT:
+                self.stats["lock_conflicts"] += 1
+            elif abort.reason is AbortReason.CAS_CONFLICT:
+                self.stats["cas_aborts"] += 1
+            if getattr(ctx, "remote_participants", None):
+                self._abort_remote_branches(ctx)
+            raise
+        finally:
+            self.txns.pop(ctx.txn_id, None)
+
+    def _partition_ops(self, ctx, spec: TxnSpec):
+        """Split ops into local and remote by granule ownership.
+
+        The home granule (first op) must be owned by this node, else the
+        client misrouted and gets a WrongNodeError with the owner hint
+        (Algorithm 1 lines 2-6).
+        """
+        local: List[TxnOp] = []
+        remote: Dict[int, List[TxnOp]] = {}
+        home = self.gmap.granule_of(spec.home_key)
+        home_owner = self.gtable.get(home)
+        if home_owner != self.node_id:
+            raise WrongNodeError(home, home_owner)
+        checked = set()
+        for op in spec.ops:
+            granule = self.gmap.granule_of(op.key)
+            owner = self.gtable.get(granule)
+            if owner == self.node_id:
+                if granule not in checked:
+                    checked.add(granule)
+                    self.runtime.check_ownership(ctx, granule)
+                local.append(op)
+            elif owner is None:
+                raise WrongNodeError(granule, None)
+            else:
+                remote.setdefault(owner, []).append(op)
+        return local, remote
+
+    def _acquire_and_stage(self, ctx, ops: List[TxnOp]) -> None:
+        try:
+            for op in ops:
+                self.locks.acquire(ctx.txn_id, (op.table, op.key), op.write)
+        except LockConflict as conflict:
+            raise TxnAborted(AbortReason.LOCK_CONFLICT, str(conflict)) from conflict
+        for op in ops:
+            if op.write:
+                ctx.write(self.glog, op.table, op.key, f"v:{ctx.txn_id}")
+
+    def _execute_ops(self, ctx, ops: List[TxnOp]):
+        """CPU time plus storage fetches for cache misses."""
+        misses = []
+        for op in ops:
+            page = self.page_of(op.table, op.key)
+            if self.cache.get(page) is MISS:
+                misses.append(page)
+        if ops:
+            yield from self.cpu.run(len(ops) * self.params.op_cpu)
+        if misses:
+            fetches = [
+                self.storage_call("get_page", table, page_no, self.glog, 0)
+                for table, page_no in misses
+            ]
+            yield all_of(self.sim, fetches)
+            for page in misses:
+                self.cache.put(page, {"warm": True})
+        if ops and self.params.interactive_delay:
+            yield Timeout(len(ops) * self.params.interactive_delay)
+
+    def _send_branches(self, ctx, remote: Dict[int, List[TxnOp]]):
+        """Ship remote branches of a distributed transaction to their owners."""
+        ctx.remote_participants = sorted(remote)
+        futs = [
+            self.peer_call(
+                owner,
+                "user_branch",
+                ctx.txn_id,
+                self.node_id,
+                tuple(ops),
+                timeout=self.params.vote_timeout,
+            )
+            for owner, ops in sorted(remote.items())
+        ]
+        try:
+            yield all_of(self.sim, futs)
+        except RemoteError as err:
+            if isinstance(err.cause, TxnAborted):
+                raise TxnAborted(err.cause.reason, err.cause.detail) from err
+            raise TxnAborted(AbortReason.VALIDATION, str(err)) from err
+        except RpcTimeout as err:
+            raise TxnAborted(AbortReason.NODE_FAILED, str(err)) from err
+
+    def _abort_remote_branches(self, ctx) -> None:
+        for owner in getattr(ctx, "remote_participants", ()):
+            self.endpoint.cast(node_address(owner), "branch_abort", ctx.txn_id)
+
+    def _h_user_branch(self, txn_id: str, coord_id: int, ops: Tuple[TxnOp, ...]):
+        """Execute the local share of a distributed transaction (stage only)."""
+        ctx = TxnContext(self.node_id)
+        ctx.txn_id = txn_id
+        self.txns[txn_id] = ctx
+        self.stats["branches_served"] += 1
+        try:
+            for granule in sorted({self.gmap.granule_of(op.key) for op in ops}):
+                self.runtime.check_ownership(ctx, granule)
+            self._acquire_and_stage(ctx, list(ops))
+            yield from self._execute_ops(ctx, list(ops))
+            return True
+        except TxnAborted:
+            self.locks.release_all(txn_id)
+            self.txns.pop(txn_id, None)
+            raise
+
+    def _h_branch_abort(self, txn_id: str):
+        ctx = self.txns.pop(txn_id, None)
+        if ctx is not None:
+            self.locks.release_all(txn_id)
+
+    # -- 2PC participant protocol ---------------------------------------------
+
+    def _h_vote_req(self, txn_id: str, conditional: bool, participants: tuple = ()):
+        """Vote by TryLogging VOTE-YES with this participant's redo updates."""
+        ctx = self.txns.get(txn_id)
+        if ctx is None:
+            return False
+        result = yield from self.try_log(
+            self.glog,
+            txn_id,
+            RecordKind.VOTE_YES,
+            ctx.entries_for(self.glog),
+            conditional=conditional,
+            participants=participants,
+        )
+        if result.ok:
+            ctx.voted = True
+        elif self.runtime is not None:
+            yield from self.runtime.handle_cas_failure(self.glog)
+        return bool(result.ok)
+
+    def _h_decision(self, txn_id: str, commit: bool, conditional: bool):
+        """Finalize a 2PC branch: apply or roll back, then log the decision."""
+        ctx = self.txns.pop(txn_id, None)
+        if ctx is None:
+            return False
+        if commit:
+            self.apply_committed(ctx)
+        self.locks.release_all(txn_id)
+        if getattr(ctx, "voted", False):
+            self.spawn(
+                self.append_decision(self.glog, txn_id, commit, conditional),
+                name=f"decision:{txn_id}",
+            )
+        return True
+
+    def append_decision(
+        self, log_name: str, txn_id: str, commit: bool, conditional: bool = True
+    ):
+        """Durably record a 2PC outcome; retries through CAS conflicts.
+
+        Log-once: if a CAS failure reveals that a (possibly racing) resolver
+        already decided this transaction in the log, that earlier decision
+        stands and nothing further is appended.
+        """
+        kind = RecordKind.DECISION_COMMIT if commit else RecordKind.DECISION_ABORT
+        while True:
+            result = yield from self.try_log(
+                log_name, txn_id, kind, (), conditional=conditional
+            )
+            if result.ok or not conditional:
+                return result
+            existing, _voted = yield self.storage_call(
+                "txn_outcome", log_name, txn_id, log=log_name
+            )
+            if existing is not None:
+                return AppendResult(True, self.lsn_tracker.get(log_name, 0))
+            if self.runtime is not None:
+                yield from self.runtime.handle_cas_failure(log_name)
+
+    # -- migration support --------------------------------------------------------
+
+    def _h_warmup_pull(self, granule: int):
+        """Source-side Squall-style scan: stream the granule's pages (§4.4.1)."""
+        yield Timeout(self.params.warmup_time_per_granule)
+        pages = set()
+        for key in self.gmap.keys_in(granule):
+            pages.add(self.page_of("usertable", key))
+        return sorted(pages)
+
+    def _h_heartbeat(self, from_id: int):
+        return self.node_id
+
+    def _h_owned_granules(self):
+        return self.owned_granules()
+
+    def _h_scan_gtable(self):
+        """This node's authoritative GTable partition (granule -> owner)."""
+        return {g: self.node_id for g in self.owned_granules()}
+
+    def _h_run_migrations(self, moves: Tuple[Tuple[int, int], ...]):
+        """Pull ``(granule, src)`` moves into this node with a worker pool.
+
+        The dispatch point for scale-out/rebalance: ``migration_workers``
+        concurrent MigrationTxns, each retried with backoff on conflicts
+        (the paper's reconfiguration-transaction retry policy, §6.1.4).
+        """
+        queue = list(moves)
+        done = {"count": 0, "failed": 0}
+
+        def worker():
+            while queue:
+                granule, src = queue.pop(0)
+                backoff = 0.002
+                started = self.sim.now
+                while True:
+                    try:
+                        yield from self.runtime.migrate(granule, src, self.node_id)
+                        done["count"] += 1
+                        if self.metrics is not None:
+                            self.metrics.record_migration(
+                                self.sim.now, latency=self.sim.now - started
+                            )
+                        break
+                    except TxnAborted as abort:
+                        if abort.reason is AbortReason.WRONG_NODE:
+                            done["failed"] += 1
+                            break  # ownership changed under us; move is moot
+                        yield Timeout(
+                            backoff * (0.5 + self.sim.rng.random())
+                        )
+                        backoff = min(backoff * 2, 0.1)
+
+        workers = [
+            self.sim.spawn(worker(), name=f"migr-worker-{self.node_id}-{i}", daemon=True)
+            for i in range(min(self.params.migration_workers, max(1, len(queue))))
+        ]
+        yield all_of(self.sim, [w.result for w in workers])
+        return dict(done)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ComputeNode({self.node_id}, region={self.region!r})"

@@ -1,0 +1,103 @@
+"""Transaction contexts and lifecycle (§4.2, §5).
+
+Both user transactions and reconfiguration transactions run through the same
+machinery: a :class:`TxnContext` accumulates reads, buffered writes (grouped
+per target log — MarlinCommit participants) and locks, and finishes through
+commit or abort.  Abort reasons distinguish the paper's failure modes: lock
+conflicts (NO_WAIT), wrong-node routing (data-effectiveness check, Algorithm 1
+lines 2-6), and cross-node CAS conflicts detected by MarlinCommit.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.log import Delete, Put
+
+__all__ = [
+    "AbortReason",
+    "TxnAborted",
+    "TxnContext",
+    "TxnStatus",
+    "WrongNodeError",
+]
+
+_txn_counter = itertools.count(1)
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class AbortReason(enum.Enum):
+    LOCK_CONFLICT = "lock_conflict"
+    WRONG_NODE = "wrong_node"
+    CAS_CONFLICT = "cas_conflict"
+    VALIDATION = "validation"
+    NODE_FAILED = "node_failed"
+
+
+class TxnAborted(Exception):
+    """Raised out of transaction execution when the transaction must abort."""
+
+    def __init__(self, reason: AbortReason, detail: str = ""):
+        super().__init__(f"transaction aborted: {reason.value} {detail}".strip())
+        self.reason = reason
+        self.detail = detail
+
+
+class WrongNodeError(TxnAborted):
+    """Data-effectiveness check failed: this node does not own the granule.
+
+    Carries the actual owner (if known) so the client/router can redirect —
+    Algorithm 1 line 6.
+    """
+
+    def __init__(self, granule: int, owner: Optional[int]):
+        super().__init__(AbortReason.WRONG_NODE, f"granule={granule} owner={owner}")
+        self.granule = granule
+        self.owner = owner
+
+
+class TxnContext:
+    """State of one in-flight transaction on its coordinating node."""
+
+    def __init__(self, node_id: int, is_reconfig: bool = False, name: str = ""):
+        self.txn_id = f"txn-{node_id}-{next(_txn_counter)}"
+        self.node_id = node_id
+        self.is_reconfig = is_reconfig
+        self.name = name
+        self.status = TxnStatus.ACTIVE
+        self.start_time: Optional[float] = None
+        #: Buffered writes grouped by target log name (MarlinCommit
+        #: participants map, Algorithm 2 line 2).
+        self.writes: Dict[str, List] = defaultdict(list)
+        self.abort_reason: Optional[AbortReason] = None
+
+    def write(self, log_name: str, table: str, key, value) -> None:
+        self.writes[log_name].append(Put(table, key, value))
+
+    def delete(self, log_name: str, table: str, key) -> None:
+        self.writes[log_name].append(Delete(table, key))
+
+    def entries_for(self, log_name: str) -> Tuple:
+        return tuple(self.writes.get(log_name, ()))
+
+    @property
+    def participant_logs(self) -> List[str]:
+        return sorted(self.writes)
+
+    def mark_committed(self) -> None:
+        self.status = TxnStatus.COMMITTED
+
+    def mark_aborted(self, reason: AbortReason) -> None:
+        self.status = TxnStatus.ABORTED
+        self.abort_reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TxnContext({self.txn_id}, {self.status.value}, name={self.name!r})"

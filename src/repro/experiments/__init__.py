@@ -1,0 +1,41 @@
+"""Per-figure reproduction harness (§6).
+
+One module per evaluation figure; each exposes ``run(scale=..., seed=...)``
+returning a :class:`repro.experiments.harness.FigureResult` whose
+``format_table()`` prints the same rows/series the paper reports.  The
+``scale`` knob shrinks clients/granules proportionally (see EXPERIMENTS.md
+for the scale-factor discussion); ratios between systems — the reproduction
+target — are stable across scales.
+"""
+
+from repro.experiments import (
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+)
+from repro.experiments.harness import (
+    EXP_NODE_PARAMS,
+    FigureResult,
+    ScenarioResult,
+    run_scale_out_scenario,
+)
+
+__all__ = [
+    "EXP_NODE_PARAMS",
+    "FigureResult",
+    "ScenarioResult",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "run_scale_out_scenario",
+]

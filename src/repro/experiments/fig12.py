@@ -1,0 +1,131 @@
+"""Figure 12 — Cost vs. migration duration across scale-out sizes (YCSB).
+
+Four scale-outs — SO1-2, SO2-4, SO4-8, SO8-16 — with clients and table size
+growing proportionally.  Paper findings:
+
+* (a) Marlin sits in the best corner at every scale: lowest cost per million
+  user transactions (up to 4.4x cheaper than L-ZK at SO1-2) and shortest
+  migration (up to 2.5x faster than S-ZK at SO8-16);
+* (b) Meta Cost's share of total cost shrinks as the cluster grows (75% ->
+  28% for L-ZK), so Marlin's cost edge is largest at small scales;
+* (c) Marlin's migration throughput grows linearly with scale, ZooKeeper's
+  gains diminish toward its leader's ceiling, and FDB is faster than ZK but
+  capped by its fixed resources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.harness import (
+    FigureResult,
+    ScenarioResult,
+    SYSTEM_LABELS,
+    run_scale_out_scenario,
+    scaled,
+)
+
+__all__ = ["SCALE_OUTS", "run", "run_sweep", "summarize"]
+
+ALL_SYSTEMS = ("marlin", "zk-small", "zk-large", "fdb")
+
+#: (name, initial_nodes, clients, granules) — §6.4's SO1-2 .. SO8-16,
+#: clients 100..800 and tables 3..24 GB scaled down proportionally.
+SCALE_OUTS: Tuple[Tuple[str, int, int, int], ...] = (
+    ("SO1-2", 1, 12, 1562),
+    ("SO2-4", 2, 25, 3125),
+    ("SO4-8", 4, 50, 6250),
+    ("SO8-16", 8, 100, 12500),
+)
+
+
+def run_sweep(
+    scale: float = 1.0,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    seed: int = 1,
+    scale_outs: Sequence[Tuple[str, int, int, int]] = SCALE_OUTS,
+    regions: Tuple[str, ...] = ("us-west",),
+) -> Dict[Tuple[str, str], ScenarioResult]:
+    results: Dict[Tuple[str, str], ScenarioResult] = {}
+    for name, initial, clients, granules in scale_outs:
+        for system in systems:
+            results[(name, system)] = run_scale_out_scenario(
+                system,
+                initial_nodes=initial,
+                added_nodes=initial,
+                clients=scaled(clients, scale),
+                granules=scaled(granules, scale, minimum=8 * initial),
+                scale_at=2.0,
+                tail=5.0,
+                regions=regions,
+                seed=seed,
+            )
+    return results
+
+
+def summarize(
+    results: Dict[Tuple[str, str], ScenarioResult],
+    figure: str = "Figure 12",
+    title: str = "Cost vs. migration duration (single-region)",
+) -> FigureResult:
+    fig = FigureResult(figure, title)
+    by_key: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for (scale_name, system), result in sorted(results.items()):
+        report = result.cost
+        busy = [tps for _t, tps in result.migration_series() if tps > 0]
+        row = {
+            "scale_out": scale_name,
+            "system": SYSTEM_LABELS.get(system, system),
+            "migration_duration_s": result.migration_duration,
+            "migration_tps": max(busy, default=0.0),
+            "cost_per_mtxn_usd": report.cost_per_million_txns,
+            "meta_fraction": report.meta_fraction,
+        }
+        by_key[(scale_name, system)] = row
+        fig.add_row(**row)
+
+    scale_names = sorted({k[0] for k in results})
+    systems = sorted({k[1] for k in results})
+    # 12a headline ratios at the extremes.
+    for other in systems:
+        if other == "marlin":
+            continue
+        label = SYSTEM_LABELS.get(other, other)
+        smallest, largest = scale_names[0], scale_names[-1]
+        small_m = by_key.get((smallest, "marlin"))
+        small_o = by_key.get((smallest, other))
+        if small_m and small_o and small_m["cost_per_mtxn_usd"]:
+            fig.findings[f"cost_ratio_{label}_at_{smallest}"] = (
+                small_o["cost_per_mtxn_usd"] / small_m["cost_per_mtxn_usd"]
+            )
+        large_m = by_key.get((largest, "marlin"))
+        large_o = by_key.get((largest, other))
+        if large_m and large_o and large_m["migration_duration_s"]:
+            fig.findings[f"migration_speedup_{label}_at_{largest}"] = (
+                large_o["migration_duration_s"] / large_m["migration_duration_s"]
+            )
+    # 12c scaling linearity: peak migration tps largest/smallest scale.
+    for system in systems:
+        label = SYSTEM_LABELS.get(system, system)
+        first = by_key.get((scale_names[0], system))
+        last = by_key.get((scale_names[-1], system))
+        if first and last and first["migration_tps"]:
+            fig.findings[f"tps_scaling_{label}"] = (
+                last["migration_tps"] / first["migration_tps"]
+            )
+    return fig
+
+
+def run(
+    scale: float = 1.0,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    seed: int = 1,
+    results: Optional[Dict[Tuple[str, str], ScenarioResult]] = None,
+) -> FigureResult:
+    if results is None:
+        results = run_sweep(scale=scale, systems=systems, seed=seed)
+    return summarize(results)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run(scale=0.1).format_table())

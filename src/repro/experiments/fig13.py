@@ -1,0 +1,73 @@
+"""Figure 13 — Cost vs. migration duration, geo-distributed (§6.5).
+
+Clients and compute nodes span four regions (US West, Asia East, UK South,
+Australia East); storage is co-located per region; ZooKeeper and FDB are
+pinned in US West.  Paper findings: Marlin's migrations stay region-local
+(up to 4.9x shorter than ZK-based methods and up to 9.5x shorter than FDB,
+whose updates need two cross-region round trips); L-ZK's hardware advantage
+is erased by cross-region latency; cost ratios match the single-region case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments import fig12
+from repro.experiments.harness import FigureResult, ScenarioResult, SYSTEM_LABELS
+from repro.sim.network import AZURE_REGIONS
+
+__all__ = ["GEO_SCALE_OUTS", "run", "run_sweep", "summarize"]
+
+#: Geo sweep uses initial node counts divisible by the 4 regions.
+GEO_SCALE_OUTS: Tuple[Tuple[str, int, int, int], ...] = (
+    ("SO4-8", 4, 50, 6250),
+    ("SO8-16", 8, 100, 12500),
+)
+
+
+def run_sweep(
+    scale: float = 1.0,
+    systems: Sequence[str] = fig12.ALL_SYSTEMS,
+    seed: int = 1,
+    scale_outs: Sequence[Tuple[str, int, int, int]] = GEO_SCALE_OUTS,
+) -> Dict[Tuple[str, str], ScenarioResult]:
+    return fig12.run_sweep(
+        scale=scale,
+        systems=systems,
+        seed=seed,
+        scale_outs=scale_outs,
+        regions=tuple(AZURE_REGIONS),
+    )
+
+
+def summarize(results: Dict[Tuple[str, str], ScenarioResult]) -> FigureResult:
+    fig = fig12.summarize(
+        results,
+        figure="Figure 13",
+        title="Cost vs. migration duration (geo-distributed, 4 regions)",
+    )
+    # Geo-specific headline: L-ZK's advantage over S-ZK disappears.
+    scale_names = sorted({k[0] for k in results})
+    largest = scale_names[-1]
+    szk = results.get((largest, "zk-small"))
+    lzk = results.get((largest, "zk-large"))
+    if szk and lzk and lzk.migration_duration:
+        fig.findings["szk_over_lzk_duration_geo"] = (
+            szk.migration_duration / lzk.migration_duration
+        )
+    return fig
+
+
+def run(
+    scale: float = 1.0,
+    systems: Sequence[str] = fig12.ALL_SYSTEMS,
+    seed: int = 1,
+    results: Optional[Dict[Tuple[str, str], ScenarioResult]] = None,
+) -> FigureResult:
+    if results is None:
+        results = run_sweep(scale=scale, systems=systems, seed=seed)
+    return summarize(results)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run(scale=0.1).format_table())

@@ -1,0 +1,146 @@
+"""Figure 15 — MTable stress test: membership updates vs. cluster size (§6.7).
+
+Every node runs a thread issuing one membership update (leave then re-join)
+per interval — the paper uses 15 s, matching autoscaler monitoring periods.
+Paper findings: Marlin is comparable to the baselines up to ~160 nodes, then
+degrades because TryLog's optimistic concurrency control on the single
+SysLog retries under contention; ZooKeeper/FDB serialize at the service and
+keep up.  This experiment is control-plane only, so the storage append
+latency uses a realistic Azure Append Blob figure (15 ms), which places the
+contention knee at the paper's scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.reconfig import NodeAlreadyExistsError, NodeNotExistError
+from repro.engine.node import NodeParams
+from repro.experiments.harness import FigureResult, SYSTEM_LABELS
+from repro.sim.core import Timeout
+
+__all__ = ["run", "run_stress", "summarize"]
+
+ALL_SYSTEMS = ("marlin", "zk-small", "zk-large", "fdb")
+NODE_COUNTS = (20, 40, 80, 160, 240)
+UPDATE_INTERVAL = 15.0
+RUN_SECONDS = 60.0
+SYSLOG_APPEND_LATENCY = 0.015
+
+
+def run_stress(
+    system: str,
+    num_nodes: int,
+    interval: float = UPDATE_INTERVAL,
+    duration: float = RUN_SECONDS,
+    seed: int = 1,
+) -> Dict[str, float]:
+    """One (system, node-count) cell: offered vs. achieved update rate."""
+    config = ClusterConfig(
+        coordination=system,
+        num_nodes=num_nodes,
+        num_keys=num_nodes * 64,
+        keys_per_granule=64,
+        node_params=NodeParams(cache_pages=64),
+        storage_append_latency=SYSLOG_APPEND_LATENCY,
+        storage_read_latency=SYSLOG_APPEND_LATENCY,
+        seed=seed,
+    )
+    cluster = Cluster(config)
+    cluster.run(until=0.1)
+    stats = {"updates": 0, "failures": 0}
+    latencies: List[float] = []
+
+    def stress_loop(node_id: int, offset: float):
+        node = cluster.nodes[node_id]
+        yield Timeout(offset)
+        while True:
+            t0 = cluster.sim.now
+            try:
+                ok = yield from node.runtime.remove_node(node_id)
+                if ok:
+                    stats["updates"] += 1
+                ok = yield from node.runtime.add_node()
+                if ok:
+                    stats["updates"] += 1
+            except (NodeAlreadyExistsError, NodeNotExistError):
+                stats["failures"] += 1
+            latencies.append((cluster.sim.now - t0) / 2.0)
+            yield Timeout(interval)
+
+    rng = cluster.sim.rng
+    for node_id in list(cluster.nodes):
+        cluster.nodes[node_id].spawn(
+            stress_loop(node_id, rng.random() * interval),
+            name=f"stress-{node_id}",
+        )
+    cluster.run(until=duration)
+    achieved = stats["updates"] / duration
+    offered = 2.0 * num_nodes / interval
+    retries = 0
+    if system == "marlin":
+        retries = sum(
+            getattr(n.runtime, "refreshes", 0) for n in cluster.nodes.values()
+        )
+    return {
+        "offered_tps": offered,
+        "achieved_tps": achieved,
+        "efficiency": achieved / offered if offered else 0.0,
+        "mean_latency_s": float(np.mean(latencies)) if latencies else 0.0,
+        "p99_latency_s": (
+            float(np.percentile(latencies, 99)) if latencies else 0.0
+        ),
+        "retries": retries,
+    }
+
+
+def summarize(results: Dict[Tuple[str, int], Dict[str, float]]) -> FigureResult:
+    fig = FigureResult("Figure 15", "MTable stress test (membership updates)")
+    for (system, nodes), cell in sorted(results.items(), key=lambda x: (x[0][1], x[0][0])):
+        fig.add_row(
+            nodes=nodes,
+            system=SYSTEM_LABELS.get(system, system),
+            offered_tps=cell["offered_tps"],
+            achieved_tps=cell["achieved_tps"],
+            efficiency=cell["efficiency"],
+            mean_latency_s=cell["mean_latency_s"],
+        )
+    node_counts = sorted({k[1] for k in results})
+    systems = sorted({k[0] for k in results})
+    if "marlin" in systems and len(node_counts) >= 2:
+        small, large = node_counts[0], node_counts[-1]
+        small_eff = results[("marlin", small)]["efficiency"]
+        large_eff = results[("marlin", large)]["efficiency"]
+        fig.findings["marlin_efficiency_small"] = small_eff
+        fig.findings["marlin_efficiency_large"] = large_eff
+        fig.findings["marlin_degradation"] = (
+            small_eff / large_eff if large_eff else float("inf")
+        )
+        for other in systems:
+            if other != "marlin":
+                fig.findings[f"{other}_efficiency_large"] = results[
+                    (other, large)
+                ]["efficiency"]
+    return fig
+
+
+def run(
+    scale: float = 1.0,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    seed: int = 1,
+    node_counts: Optional[Sequence[int]] = None,
+) -> FigureResult:
+    if node_counts is None:
+        node_counts = [max(4, int(round(n * scale))) for n in NODE_COUNTS]
+    results = {}
+    for system in systems:
+        for nodes in node_counts:
+            results[(system, nodes)] = run_stress(system, nodes, seed=seed)
+    return summarize(results)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run(scale=0.5, systems=("marlin", "zk-small")).format_table())

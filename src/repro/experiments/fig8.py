@@ -1,0 +1,71 @@
+"""Figure 8 — MigrationTxn throughput over time (YCSB scale-out).
+
+Paper findings: Marlin achieves 2.3x / 1.9x higher migration-transaction
+throughput than S-ZK / L-ZK, and completes the scale-out 2.6x / 1.9x faster,
+because the partitioned GTable spreads metadata updates while ZooKeeper's
+single-writer leader is the bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.family import DEFAULT_SYSTEMS, run_family
+from repro.experiments.harness import (
+    FigureResult,
+    ScenarioResult,
+    SYSTEM_LABELS,
+)
+
+__all__ = ["run", "summarize"]
+
+
+def summarize(results: Dict[str, ScenarioResult]) -> FigureResult:
+    fig = FigureResult("Figure 8", "MigrationTxn throughput over time (YCSB)")
+    peak: Dict[str, float] = {}
+    duration: Dict[str, float] = {}
+    for system, result in results.items():
+        series = result.migration_series()
+        busy = [tps for _t, tps in series if tps > 0]
+        mean_tps = sum(busy) / len(busy) if busy else 0.0
+        peak[system] = max(busy, default=0.0)
+        duration[system] = result.migration_duration
+        fig.add_row(
+            system=SYSTEM_LABELS.get(system, system),
+            migrations=result.metrics.total_migrations,
+            mean_migr_tps=mean_tps,
+            peak_migr_tps=peak[system],
+            migration_duration_s=duration[system],
+        )
+        fig.rows[-1]["series"] = [
+            (t, tps) for t, tps in series if tps > 0
+        ]
+    if "marlin" in results:
+        for base in results:
+            if base == "marlin":
+                continue
+            label = SYSTEM_LABELS.get(base, base)
+            if peak.get(base):
+                fig.findings[f"migration_tps_vs_{label}"] = (
+                    peak["marlin"] / peak[base]
+                )
+            if duration.get("marlin"):
+                fig.findings[f"scaleout_speedup_vs_{label}"] = (
+                    duration[base] / duration["marlin"]
+                )
+    return fig
+
+
+def run(
+    scale: float = 1.0,
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    seed: int = 1,
+    results: Optional[Dict[str, ScenarioResult]] = None,
+) -> FigureResult:
+    if results is None:
+        results = run_family(scale=scale, systems=systems, seed=seed)
+    return summarize(results)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run(scale=0.25).format_table())

@@ -1,0 +1,244 @@
+"""Shared experiment machinery: scenario runner, result containers, tables.
+
+The canonical scenario (§6.2-§6.4) is *scale-out under load*: a cluster of
+``initial_nodes`` serving a static client population doubles at
+``scale_at`` seconds, migrating half of every old node's granules to the new
+nodes.  The runner builds the cluster, binds clients to their (region-local)
+key ranges, fires the scale-out, and collects throughput / abort / migration
+/ latency series plus the §6.1.5 cost report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.cluster.cost import CostReport
+from repro.core.invariants import check_view_consistency
+from repro.engine.node import NodeParams
+from repro.workload.client import Client, Router
+from repro.workload.tpcc import TpccWorkload
+from repro.workload.ycsb import YcsbWorkload
+
+__all__ = [
+    "EXP_NODE_PARAMS",
+    "FigureResult",
+    "ScenarioResult",
+    "SYSTEM_LABELS",
+    "run_scale_out_scenario",
+    "start_clients",
+]
+
+#: Calibrated compute-node parameters for all experiments; see
+#: EXPERIMENTS.md "Calibration" for the derivation.
+EXP_NODE_PARAMS = NodeParams(
+    vcpus=4,
+    cache_pages=16384,
+    keys_per_page=8,
+    op_cpu=0.0053,
+    interactive_delay=0.0004,
+    reconfig_cpu=0.00012,
+    migration_workers=8,
+    warmup_enabled=True,
+    warmup_time_per_granule=0.15,
+    group_commit_batch=64,
+)
+
+SYSTEM_LABELS = {
+    "marlin": "Marlin",
+    "zk-small": "S-ZK",
+    "zk-large": "L-ZK",
+    "fdb": "FDB",
+}
+
+
+@dataclass
+class ScenarioResult:
+    """Everything measured in one run of one system."""
+
+    system: str
+    duration: float
+    cluster: Cluster
+    scale_summaries: List[dict] = field(default_factory=list)
+
+    @property
+    def metrics(self):
+        return self.cluster.metrics
+
+    @property
+    def migration_duration(self) -> float:
+        return self.metrics.migration_duration
+
+    @property
+    def cost(self) -> CostReport:
+        return self.cluster.price(self.duration)
+
+    def throughput_series(self):
+        return self.metrics.throughput_series(self.duration)
+
+    def migration_series(self):
+        return self.metrics.migration_series(self.duration)
+
+    def abort_series(self):
+        return self.metrics.abort_ratio_series(self.duration)
+
+    def latency_series(self, pct=50.0):
+        return self.metrics.latency_series(self.duration, pct=pct)
+
+
+class FigureResult:
+    """Rows of one reproduced figure plus headline findings."""
+
+    def __init__(self, figure: str, title: str):
+        self.figure = figure
+        self.title = title
+        self.rows: List[Dict] = []
+        self.findings: Dict[str, float] = {}
+
+    def add_row(self, **fields) -> None:
+        self.rows.append(dict(fields))
+
+    def format_table(self) -> str:
+        if not self.rows:
+            return f"{self.figure}: (no rows)"
+        columns = list(self.rows[0])
+        widths = {
+            c: max(len(c), *(len(_fmt(r.get(c))) for r in self.rows))
+            for c in columns
+        }
+        lines = [f"== {self.figure}: {self.title} =="]
+        lines.append("  ".join(c.ljust(widths[c]) for c in columns))
+        lines.append("  ".join("-" * widths[c] for c in columns))
+        for row in self.rows:
+            lines.append(
+                "  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns)
+            )
+        if self.findings:
+            lines.append("-- findings --")
+            for key, value in self.findings.items():
+                lines.append(f"  {key}: {_fmt(value)}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def start_clients(
+    cluster: Cluster,
+    count: int,
+    workload_kind: str = "ycsb",
+    seed: int = 100,
+    bind_to_nodes: Optional[Sequence[int]] = None,
+) -> Tuple[Router, List[Client]]:
+    """Closed-loop clients bound round-robin to initial nodes' key ranges.
+
+    Binding each client to one node's contiguous range keeps geo clients
+    region-local (§6.5: "each client accessing only local compute nodes").
+    """
+    assignment = cluster.assignment_from_views()
+    router = Router(assignment)
+    node_ids = list(bind_to_nodes or cluster.live_node_ids())
+    ranges = {}
+    for nid in node_ids:
+        owned = sorted(
+            g for g, owner in assignment.items() if owner == nid
+        )
+        lo = cluster.gmap.granule(owned[0]).lo
+        hi = cluster.gmap.granule(owned[-1]).hi
+        ranges[nid] = (lo, hi)
+    clients = []
+    for i in range(count):
+        nid = node_ids[i % len(node_ids)]
+        lo, hi = ranges[nid]
+        if workload_kind == "ycsb":
+            workload = YcsbWorkload(cluster.gmap, key_lo=lo, key_hi=hi)
+        elif workload_kind == "tpcc":
+            workload = TpccWorkload(
+                cluster.gmap,
+                warehouse_lo=cluster.gmap.granule_of(lo),
+                warehouse_hi=cluster.gmap.granule_of(hi - 1) + 1,
+            )
+        else:
+            raise ValueError(f"unknown workload {workload_kind!r}")
+        client = Client(
+            cluster.sim,
+            cluster.network,
+            cluster.nodes[nid].region,
+            router,
+            workload,
+            cluster.metrics,
+            cluster.gmap,
+            seed=seed + i,
+        )
+        client.start()
+        clients.append(client)
+    cluster.client_count = count
+    return router, clients
+
+
+def run_scale_out_scenario(
+    system: str,
+    *,
+    initial_nodes: int = 8,
+    added_nodes: int = 8,
+    clients: int = 100,
+    granules: int = 12_500,
+    keys_per_granule: int = 64,
+    scale_at: float = 5.0,
+    tail: float = 10.0,
+    workload: str = "ycsb",
+    regions: Tuple[str, ...] = ("us-west",),
+    seed: int = 1,
+    node_params: Optional[NodeParams] = None,
+    check_invariants: bool = True,
+) -> ScenarioResult:
+    """One full scale-out run (§6.2/§6.3 shape) for one system.
+
+    The run ends ``tail`` seconds after the last migration commits, so every
+    system is measured over its own reconfiguration window plus a stable
+    after-phase (mirroring the paper's fixed-duration plots).
+    """
+    config = ClusterConfig(
+        coordination=system,
+        num_nodes=initial_nodes,
+        regions=regions,
+        home_region=regions[0],
+        num_keys=granules * keys_per_granule,
+        keys_per_granule=keys_per_granule,
+        node_params=node_params or EXP_NODE_PARAMS,
+        metrics_bucket=1.0,
+        seed=seed,
+    )
+    cluster = Cluster(config)
+    cluster.run(until=0.1)
+    router, client_pool = start_clients(cluster, clients, workload, seed=seed * 977)
+
+    result = ScenarioResult(system=system, duration=0.0, cluster=cluster)
+
+    def do_scale():
+        summary = yield from cluster.scale_out(added_nodes)
+        router.sync(cluster.assignment_from_views())
+        result.scale_summaries.append(summary)
+
+    cluster.run(until=scale_at)
+    proc = cluster.sim.spawn(do_scale(), name="scale-out", daemon=True)
+    cluster.sim.run_until(proc.result, limit=3600.0)
+    end = cluster.sim.now + tail
+    cluster.run(until=end)
+    for client in client_pool:
+        client.stop()
+    cluster.settle(0.2)
+    result.duration = end
+    if check_invariants:
+        live = [cluster.nodes[n] for n in cluster.live_node_ids()]
+        check_view_consistency(live, cluster.gmap.num_granules)
+    return result
+
+
+def scaled(value: float, scale: float, minimum: int = 1) -> int:
+    """Scale an integer experiment parameter, keeping it at least ``minimum``."""
+    return max(minimum, int(round(value * scale)))

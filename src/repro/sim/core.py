@@ -1,0 +1,354 @@
+"""Discrete-event simulation kernel.
+
+The kernel executes *processes* — plain Python generators — against a single
+event heap ordered by ``(time, sequence)``.  A process advances by yielding:
+
+* :class:`Timeout` — resume after a simulated delay,
+* :class:`Future` — resume when the future resolves (or re-raise its failure),
+* another :class:`Process` — resume when that process finishes,
+* ``None`` — yield control and resume on the next event cycle.
+
+Sub-protocols compose with ``yield from``; the sub-generator's ``return`` value
+becomes the value of the ``yield from`` expression.  All resumptions pass
+through the heap, so a run is fully deterministic for a given seed and spawn
+order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Future",
+    "Handle",
+    "Process",
+    "ProcessCrashed",
+    "ProcessKilled",
+    "SimError",
+    "Simulator",
+    "Timeout",
+    "all_of",
+    "any_of",
+]
+
+
+class SimError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class ProcessKilled(SimError):
+    """Raised inside a process that was killed via :meth:`Process.kill`."""
+
+
+class ProcessCrashed(SimError):
+    """Raised out of :meth:`Simulator.run` when a process died unexpectedly."""
+
+    def __init__(self, process: "Process", exc: BaseException):
+        super().__init__(f"process {process.name!r} crashed: {exc!r}")
+        self.process = process
+        self.exc = exc
+
+
+class Timeout:
+    """Yield value that suspends a process for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay})"
+
+
+class Handle:
+    """Cancellation handle for a scheduled callback."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Future:
+    """A one-shot container for a value (or failure) produced later.
+
+    Completion callbacks are never run inline: they are scheduled on the event
+    heap, which keeps resumption order deterministic and stack depth bounded.
+    """
+
+    __slots__ = ("_sim", "_done", "_value", "_exc", "_callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self._sim = sim
+        self._done = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+        self.name = name
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    def result(self) -> Any:
+        """Return the value, raising the failure if the future failed."""
+        if not self._done:
+            raise SimError(f"future {self.name!r} is not done")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def resolve(self, value: Any = None) -> None:
+        if self._done:
+            raise SimError(f"future {self.name!r} resolved twice")
+        self._done = True
+        self._value = value
+        self._flush()
+
+    def fail(self, exc: BaseException) -> None:
+        if self._done:
+            raise SimError(f"future {self.name!r} resolved twice")
+        self._done = True
+        self._exc = exc
+        self._flush()
+
+    def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
+        if self._done:
+            self._sim.call_soon(fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def _flush(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._sim.call_soon(fn, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self._done:
+            state = f"failed({self._exc!r})" if self._exc else f"done({self._value!r})"
+        return f"Future({self.name!r}, {state})"
+
+
+class Process:
+    """A running generator coroutine.
+
+    ``process.result`` is a :class:`Future` resolved with the generator's
+    return value, or failed with the escaping exception.  An exception that
+    escapes a process also crashes the whole simulation run (fail-fast), unless
+    the process was spawned with ``daemon=True`` or killed deliberately.
+    """
+
+    __slots__ = ("sim", "gen", "name", "result", "daemon", "_finished")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator,
+        name: str = "",
+        daemon: bool = False,
+    ):
+        if not isinstance(gen, Generator):
+            raise SimError(f"spawn() needs a generator, got {type(gen).__name__}")
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.daemon = daemon
+        self.result = Future(sim, name=f"{self.name}.result")
+        self._finished = False
+        sim.call_soon(self._step, None, None)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def kill(self) -> None:
+        """Throw :class:`ProcessKilled` into the process at the current time."""
+        if not self._finished:
+            self.sim.call_soon(self._step, None, ProcessKilled(self.name))
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._finished:
+            return
+        try:
+            if exc is not None:
+                yielded = self.gen.throw(exc)
+            else:
+                yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish_value(stop.value)
+            return
+        except ProcessKilled as killed:
+            self._finished = True
+            self.result.fail(killed)
+            return
+        except BaseException as err:  # noqa: BLE001 - deliberate fail-fast
+            self._finished = True
+            self.result.fail(err)
+            if not self.daemon:
+                self.sim._report_crash(self, err)
+            return
+        self._dispatch(yielded)
+
+    def _finish_value(self, value: Any) -> None:
+        self._finished = True
+        self.result.resolve(value)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self.sim.call_after(yielded.delay, self._step, None, None)
+        elif isinstance(yielded, Future):
+            yielded.add_done_callback(self._resume_from_future)
+        elif isinstance(yielded, Process):
+            yielded.result.add_done_callback(self._resume_from_future)
+        elif yielded is None:
+            self.sim.call_soon(self._step, None, None)
+        else:
+            self._step(None, SimError(f"process yielded unsupported value {yielded!r}"))
+
+    def _resume_from_future(self, fut: Future) -> None:
+        if fut._exc is not None:
+            self._step(None, fut._exc)
+        else:
+            self._step(fut._value, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Process({self.name!r}, finished={self._finished})"
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, seq, handle, fn, args)`` entries."""
+
+    def __init__(self, seed: int = 0):
+        self._heap: list[tuple[float, int, Handle, Callable, tuple]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self.rng = random.Random(seed)
+        self._crash: Optional[ProcessCrashed] = None
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> Handle:
+        if when < self._now - 1e-12:
+            raise SimError(f"cannot schedule in the past: {when} < {self._now}")
+        handle = Handle()
+        heapq.heappush(self._heap, (when, next(self._seq), handle, fn, args))
+        return handle
+
+    def call_after(self, delay: float, fn: Callable, *args: Any) -> Handle:
+        return self.call_at(self._now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable, *args: Any) -> Handle:
+        return self.call_at(self._now, fn, *args)
+
+    def spawn(self, gen: Generator, name: str = "", daemon: bool = False) -> Process:
+        return Process(self, gen, name=name, daemon=daemon)
+
+    def event(self, name: str = "") -> Future:
+        return Future(self, name=name)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run one event; return False if the heap is empty."""
+        while self._heap:
+            when, _seq, handle, fn, args = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = when
+            self.events_executed += 1
+            fn(*args)
+            if self._crash is not None:
+                crash, self._crash = self._crash, None
+                raise crash
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the heap drains or sim time passes ``until``."""
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until(self, fut: Future, limit: Optional[float] = None) -> Any:
+        """Run until ``fut`` resolves; return its value (or raise its failure)."""
+        while not fut.done:
+            if limit is not None and self._heap and self._heap[0][0] > limit:
+                raise SimError(f"future {fut.name!r} not done by t={limit}")
+            if not self.step():
+                raise SimError(f"event heap drained before {fut.name!r} resolved")
+        return fut.result()
+
+    def _report_crash(self, process: Process, exc: BaseException) -> None:
+        if self._crash is None:
+            self._crash = ProcessCrashed(process, exc)
+
+
+def all_of(sim: Simulator, futures: Iterable[Future]) -> Future:
+    """A future resolving with the list of all values (fails on first failure)."""
+    futures = list(futures)
+    gathered = Future(sim, name="all_of")
+    remaining = len(futures)
+    if remaining == 0:
+        gathered.resolve([])
+        return gathered
+    values: list[Any] = [None] * remaining
+    state = {"left": remaining, "failed": False}
+
+    def on_done(index: int, fut: Future) -> None:
+        if gathered.done:
+            return
+        if fut.exception is not None:
+            state["failed"] = True
+            gathered.fail(fut.exception)
+            return
+        values[index] = fut._value
+        state["left"] -= 1
+        if state["left"] == 0:
+            gathered.resolve(values)
+
+    for i, fut in enumerate(futures):
+        fut.add_done_callback(lambda f, i=i: on_done(i, f))
+    return gathered
+
+
+def any_of(sim: Simulator, futures: Iterable[Future]) -> Future:
+    """A future resolving with ``(index, value)`` of the first completion."""
+    futures = list(futures)
+    if not futures:
+        raise SimError("any_of() needs at least one future")
+    first = Future(sim, name="any_of")
+
+    def on_done(index: int, fut: Future) -> None:
+        if first.done:
+            return
+        if fut.exception is not None:
+            first.fail(fut.exception)
+        else:
+            first.resolve((index, fut._value))
+
+    for i, fut in enumerate(futures):
+        fut.add_done_callback(lambda f, i=i: on_done(i, f))
+    return first

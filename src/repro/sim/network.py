@@ -1,0 +1,94 @@
+"""Region-aware network latency model.
+
+The paper's geo-distributed experiment (§6.5) spans four Azure regions:
+US West, Asia East, UK South and Australia East.  ``AZURE_REGIONS`` carries
+approximate one-way latencies between those regions (derived from public
+inter-region RTT measurements); intra-region delivery uses a small datacenter
+latency.  Latencies are jittered multiplicatively with the simulator's seeded
+RNG, so runs remain deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional
+
+from repro.sim.core import Simulator
+
+__all__ = ["AZURE_REGIONS", "LatencyModel", "Network"]
+
+US_WEST = "us-west"
+ASIA_EAST = "asia-east"
+UK_SOUTH = "uk-south"
+AUSTRALIA_EAST = "australia-east"
+
+AZURE_REGIONS = (US_WEST, ASIA_EAST, UK_SOUTH, AUSTRALIA_EAST)
+
+# Approximate one-way latencies (seconds) between Azure regions.
+_AZURE_ONE_WAY: Dict[FrozenSet[str], float] = {
+    frozenset((US_WEST, ASIA_EAST)): 0.075,
+    frozenset((US_WEST, UK_SOUTH)): 0.070,
+    frozenset((US_WEST, AUSTRALIA_EAST)): 0.080,
+    frozenset((ASIA_EAST, UK_SOUTH)): 0.100,
+    frozenset((ASIA_EAST, AUSTRALIA_EAST)): 0.060,
+    frozenset((UK_SOUTH, AUSTRALIA_EAST)): 0.125,
+}
+
+#: One-way latency between two endpoints inside the same datacenter region.
+INTRA_REGION_ONE_WAY = 0.00025
+
+
+class LatencyModel:
+    """Samples one-way latencies between regions.
+
+    Parameters
+    ----------
+    intra:
+        One-way latency between endpoints in the same region.
+    cross:
+        Mapping of ``frozenset({region_a, region_b})`` to one-way latency.
+        Unknown pairs fall back to ``default_cross``.
+    jitter_frac:
+        Uniform multiplicative jitter in ``[1, 1 + jitter_frac]``.
+    """
+
+    def __init__(
+        self,
+        intra: float = INTRA_REGION_ONE_WAY,
+        cross: Optional[Dict[FrozenSet[str], float]] = None,
+        default_cross: float = 0.075,
+        jitter_frac: float = 0.10,
+    ):
+        self.intra = intra
+        self.cross = dict(_AZURE_ONE_WAY if cross is None else cross)
+        self.default_cross = default_cross
+        self.jitter_frac = jitter_frac
+
+    def base_one_way(self, region_a: str, region_b: str) -> float:
+        if region_a == region_b:
+            return self.intra
+        return self.cross.get(frozenset((region_a, region_b)), self.default_cross)
+
+    def one_way(self, rng, region_a: str, region_b: str) -> float:
+        base = self.base_one_way(region_a, region_b)
+        if self.jitter_frac <= 0:
+            return base
+        return base * (1.0 + self.jitter_frac * rng.random())
+
+
+class Network:
+    """Delivers messages between registered endpoints with modeled latency."""
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None):
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        #: address -> endpoint; populated by :class:`repro.sim.rpc.RpcEndpoint`.
+        self.endpoints: Dict[str, object] = {}
+        self.messages_sent = 0
+
+    def deliver(
+        self, src_region: str, dst_region: str, fn: Callable, *args
+    ) -> None:
+        """Schedule ``fn(*args)`` after one sampled one-way latency."""
+        delay = self.latency.one_way(self.sim.rng, src_region, dst_region)
+        self.messages_sent += 1
+        self.sim.call_after(delay, fn, *args)

@@ -1,0 +1,144 @@
+"""Contended resources: bounded CPU pools and async FIFO queues.
+
+``CpuResource`` models a VM's vCPUs: at most ``workers`` jobs execute
+simultaneously; excess jobs queue FIFO.  This is what makes throughput
+saturate — the mechanism behind every knee in the paper's figures (a ZooKeeper
+leader runs out of CPU, a compute node runs out of CPU, ...).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.sim.core import Future, SimError, Simulator, Timeout
+
+__all__ = ["CpuResource", "Mutex", "Queue"]
+
+
+class CpuResource:
+    """A pool of ``workers`` identical execution slots with a FIFO queue."""
+
+    def __init__(self, sim: Simulator, workers: int, name: str = "cpu"):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.sim = sim
+        self.workers = workers
+        self.name = name
+        self._free = workers
+        self._waiters: deque[Future] = deque()
+        self.busy_time = 0.0
+        self.jobs_completed = 0
+
+    @property
+    def in_use(self) -> int:
+        return self.workers - self._free
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Future:
+        """A future that resolves when a slot is granted to the caller."""
+        fut = self.sim.event(name=f"{self.name}.acquire")
+        if self._free > 0:
+            self._free -= 1
+            fut.resolve()
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().resolve()
+        else:
+            if self._free >= self.workers:
+                raise SimError(f"{self.name}: release without acquire")
+            self._free += 1
+
+    def run(self, service_time: float) -> Generator:
+        """Process fragment: occupy one slot for ``service_time`` seconds."""
+        yield self.acquire()
+        try:
+            yield Timeout(service_time)
+            self.busy_time += service_time
+            self.jobs_completed += 1
+        finally:
+            self.release()
+
+    def utilization(self, elapsed: float) -> float:
+        """Average fraction of slots busy over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (self.workers * elapsed)
+
+
+class Mutex:
+    """An async mutual-exclusion lock (FIFO hand-off).
+
+    Compute nodes use one mutex per WAL to serialize their own conditional
+    appends: without it, a group-commit flush and a reconfiguration
+    transaction could race on the same expected LSN and produce a spurious
+    local CAS failure that looks like a cross-node modification.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "mutex"):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: deque[Future] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Future:
+        fut = self.sim.event(name=f"{self.name}.acquire")
+        if not self._locked:
+            self._locked = True
+            fut.resolve()
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimError(f"{self.name}: release without acquire")
+        if self._waiters:
+            self._waiters.popleft().resolve()
+        else:
+            self._locked = False
+
+
+class Queue:
+    """Unbounded async FIFO queue (mailbox pattern)."""
+
+    def __init__(self, sim: Simulator, name: str = "queue"):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Future] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().resolve(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Future:
+        """A future resolving with the next item (FIFO among waiters)."""
+        fut = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            fut.resolve(self._items.popleft())
+        else:
+            self._getters.append(fut)
+        return fut
+
+    def drain(self) -> list:
+        """Remove and return all currently queued items synchronously."""
+        items = list(self._items)
+        self._items.clear()
+        return items

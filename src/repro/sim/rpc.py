@@ -1,0 +1,185 @@
+"""RPC layer on top of the simulated network.
+
+Mirrors the paper's gRPC usage (§5): endpoints expose named methods; callers
+issue synchronous calls (``result = yield ep.call(...)``) or asynchronous ones
+(collect the future, yield later), exactly the ``RPC_sync/async`` notation of
+Algorithm 1.  Crashed endpoints silently drop requests, so callers observe
+timeouts — the failure signal that drives the paper's failover path.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.core import Future, SimError, Simulator
+from repro.sim.network import Network
+
+__all__ = ["RemoteError", "RpcEndpoint", "RpcError", "RpcTimeout"]
+
+
+class RpcError(SimError):
+    """Base class for RPC failures."""
+
+
+class RpcTimeout(RpcError):
+    """The call did not complete within its timeout."""
+
+
+class RemoteError(RpcError):
+    """The remote handler raised; carries the original exception."""
+
+    def __init__(self, address: str, method: str, cause: BaseException):
+        super().__init__(f"{address}.{method} raised {cause!r}")
+        self.address = address
+        self.method = method
+        self.cause = cause
+
+
+class RpcEndpoint:
+    """A network-addressable actor with registered method handlers.
+
+    Handlers may be plain callables (returning a value) or generator functions
+    (spawned as simulation processes); either way the caller's future resolves
+    with the handler's result after a full round trip.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, address: str, region: str):
+        if address in network.endpoints:
+            raise SimError(f"duplicate RPC address {address!r}")
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.region = region
+        self.crashed = False
+        self._handlers: Dict[str, Callable] = {}
+        self._live_processes: set = set()
+        self.requests_served = 0
+        network.endpoints[address] = self
+
+    def register(self, method: str, handler: Callable) -> None:
+        self._handlers[method] = handler
+
+    def unregister_all(self) -> None:
+        self._handlers.clear()
+
+    def kill_processes(self) -> None:
+        """Kill in-flight handler processes (node freeze/crash semantics)."""
+        for proc in list(self._live_processes):
+            proc.kill()
+        self._live_processes.clear()
+
+    # -- client side ---------------------------------------------------------
+
+    def call(
+        self,
+        address: str,
+        method: str,
+        *args: Any,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Invoke ``method(*args)`` on the endpoint at ``address``.
+
+        Returns a future that resolves with the handler's return value, or
+        fails with :class:`RemoteError` (handler raised), :class:`RpcTimeout`
+        (no response in ``timeout`` seconds) or :class:`RpcError` (unknown
+        address).  A crashed callee never responds: with no timeout set the
+        future simply never resolves, as in a real partitioned network.
+        """
+        fut = self.sim.event(name=f"rpc:{address}.{method}")
+        target = self.network.endpoints.get(address)
+        if target is None:
+            fut.fail(RpcError(f"unknown RPC address {address!r}"))
+            return fut
+        if self.crashed:
+            # A crashed caller sends nothing; mirror the callee-crash behaviour.
+            if timeout is not None:
+                self.sim.call_after(
+                    timeout, _fail_if_pending, fut, RpcTimeout(f"{address}.{method}")
+                )
+            return fut
+
+        timeout_handle = None
+        if timeout is not None:
+            timeout_handle = self.sim.call_after(
+                timeout, _fail_if_pending, fut, RpcTimeout(f"{address}.{method}")
+            )
+
+        def respond(value: Any, exc: Optional[BaseException]) -> None:
+            if fut.done:  # timed out already; late response discarded
+                return
+            if timeout_handle is not None:
+                timeout_handle.cancel()
+            if exc is not None:
+                fut.fail(exc)
+            else:
+                fut.resolve(value)
+
+        def reply(value: Any, exc: Optional[BaseException]) -> None:
+            # Response travels back over the network.
+            self.network.deliver(target.region, self.region, respond, value, exc)
+
+        self.network.deliver(
+            self.region, target.region, target._on_request, method, args, reply
+        )
+        return fut
+
+    def cast(self, address: str, method: str, *args: Any) -> None:
+        """One-way message: deliver and forget (no response, no failure)."""
+        target = self.network.endpoints.get(address)
+        if target is None or self.crashed:
+            return
+        self.network.deliver(
+            self.region, target.region, target._on_request, method, args, None
+        )
+
+    # -- server side ---------------------------------------------------------
+
+    def _on_request(
+        self,
+        method: str,
+        args: tuple,
+        reply: Optional[Callable[[Any, Optional[BaseException]], None]],
+    ) -> None:
+        if self.crashed:
+            return  # dropped on the floor; the caller's timeout fires
+        handler = self._handlers.get(method)
+        if handler is None:
+            if reply is not None:
+                reply(None, RpcError(f"{self.address}: unknown method {method!r}"))
+            return
+        self.requests_served += 1
+        try:
+            result = handler(*args)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            if reply is not None:
+                reply(None, RemoteError(self.address, method, exc))
+            return
+        if inspect.isgenerator(result):
+            proc = self.sim.spawn(
+                result, name=f"{self.address}.{method}", daemon=True
+            )
+            self._live_processes.add(proc)
+
+            def on_done(fut: Future) -> None:
+                self._live_processes.discard(proc)
+                if self.crashed:
+                    return  # crashed while handling; no response escapes
+                if reply is None:
+                    if fut.exception is not None:
+                        raise fut.exception  # one-way handler crashed: surface it
+                    return
+                if fut.exception is not None:
+                    reply(None, RemoteError(self.address, method, fut.exception))
+                else:
+                    reply(fut._value, None)
+
+            proc.result.add_done_callback(on_done)
+        else:
+            if reply is not None:
+                reply(result, None)
+
+
+def _fail_if_pending(fut: Future, exc: BaseException) -> None:
+    if not fut.done:
+        fut.fail(exc)

@@ -1,0 +1,153 @@
+"""Cloud-storage conditional-write dialects (§5 "Implementation").
+
+The paper shows Append@LSN can be realised on any storage offering
+compare-and-swap, and spells out three dialects:
+
+* **Azure Append Blobs** — ``AppendBlock`` with ``If-Match`` (ETag) or
+  ``x-ms-blob-condition-appendpos-equal`` preconditions,
+* **Amazon S3 Express One Zone** — single ``PUT`` with ``If-Match`` /
+  ``x-amz-write-offset-bytes``,
+* **Google Cloud Storage** — per-object generation numbers with
+  ``ifGenerationMatch`` on a compose operation.
+
+Each emulation maps its dialect onto a :class:`repro.storage.log.SharedLog`
+and exposes the common ``conditional_append`` so the equivalence of all three
+with Append@LSN is testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.storage.log import AppendResult, RecordKind, SharedLog
+
+__all__ = [
+    "AzureAppendBlob",
+    "GcsGenerationLog",
+    "HTTP_CREATED",
+    "HTTP_PRECONDITION_FAILED",
+    "S3ExpressLog",
+]
+
+HTTP_CREATED = 201
+HTTP_PRECONDITION_FAILED = 412
+
+
+class AzureAppendBlob:
+    """Azure append blob: ETag == stringified end LSN; append position == LSN."""
+
+    def __init__(self, log: SharedLog):
+        self.log = log
+
+    @property
+    def etag(self) -> str:
+        return f'"{self.log.end_lsn}"'
+
+    @property
+    def append_position(self) -> int:
+        return self.log.end_lsn
+
+    def append_block(
+        self,
+        txn_id: str,
+        kind: RecordKind,
+        entries: tuple = (),
+        if_match: Optional[str] = None,
+        if_appendpos_equal: Optional[int] = None,
+    ) -> Tuple[int, str]:
+        """Returns ``(http_status, current_etag)``."""
+        if if_match is not None and if_match != self.etag:
+            return (HTTP_PRECONDITION_FAILED, self.etag)
+        if if_appendpos_equal is not None and if_appendpos_equal != self.append_position:
+            return (HTTP_PRECONDITION_FAILED, self.etag)
+        self.log.append(txn_id, kind, entries, expected_lsn=None)
+        return (HTTP_CREATED, self.etag)
+
+    def conditional_append(
+        self, txn_id: str, kind: RecordKind, entries: tuple, expected_lsn: int
+    ) -> AppendResult:
+        status, _etag = self.append_block(
+            txn_id, kind, entries, if_appendpos_equal=expected_lsn
+        )
+        return AppendResult(status == HTTP_CREATED, self.log.end_lsn)
+
+
+class S3ExpressLog:
+    """S3 Express One Zone: conditional PUT with write-offset semantics."""
+
+    def __init__(self, log: SharedLog):
+        self.log = log
+
+    @property
+    def etag(self) -> str:
+        return f"s3-{self.log.end_lsn}"
+
+    @property
+    def object_size(self) -> int:
+        # One record == one "byte" of object length for offset arithmetic.
+        return self.log.end_lsn
+
+    def put(
+        self,
+        txn_id: str,
+        kind: RecordKind,
+        entries: tuple = (),
+        if_match: Optional[str] = None,
+        write_offset_bytes: Optional[int] = None,
+    ) -> Tuple[int, str]:
+        if if_match is not None and if_match != self.etag:
+            return (HTTP_PRECONDITION_FAILED, self.etag)
+        if write_offset_bytes is not None and write_offset_bytes != self.object_size:
+            return (HTTP_PRECONDITION_FAILED, self.etag)
+        self.log.append(txn_id, kind, entries, expected_lsn=None)
+        return (HTTP_CREATED, self.etag)
+
+    def conditional_append(
+        self, txn_id: str, kind: RecordKind, entries: tuple, expected_lsn: int
+    ) -> AppendResult:
+        status, _etag = self.put(
+            txn_id, kind, entries, write_offset_bytes=expected_lsn
+        )
+        return AppendResult(status == HTTP_CREATED, self.log.end_lsn)
+
+
+class GcsGenerationLog:
+    """GCS: monotonically increasing generation + ``ifGenerationMatch`` compose.
+
+    The client stages updates in a temp object, then composes
+    ``log@<generation>`` with the temp object guarded by
+    ``ifGenerationMatch: <generation>``.
+    """
+
+    def __init__(self, log: SharedLog):
+        self.log = log
+        self._staged: dict[str, tuple] = {}
+
+    @property
+    def generation(self) -> int:
+        return self.log.end_lsn
+
+    def upload_temp(
+        self, temp_name: str, txn_id: str, kind: RecordKind, entries: tuple
+    ) -> None:
+        self._staged[temp_name] = (txn_id, kind, entries)
+
+    def compose(
+        self, temp_name: str, if_generation_match: Optional[int] = None
+    ) -> Tuple[int, int]:
+        """Returns ``(http_status, current_generation)``."""
+        if temp_name not in self._staged:
+            raise KeyError(f"no staged temp object {temp_name!r}")
+        if if_generation_match is not None and if_generation_match != self.generation:
+            return (HTTP_PRECONDITION_FAILED, self.generation)
+        txn_id, kind, entries = self._staged.pop(temp_name)
+        self.log.append(txn_id, kind, entries, expected_lsn=None)
+        return (HTTP_CREATED, self.generation)
+
+    def conditional_append(
+        self, txn_id: str, kind: RecordKind, entries: tuple, expected_lsn: int
+    ) -> AppendResult:
+        temp = f"temp-{txn_id}-{self.generation}"
+        self.upload_temp(temp, txn_id, kind, entries)
+        status, generation = self.compose(temp, if_generation_match=expected_lsn)
+        return AppendResult(status == HTTP_CREATED, generation)

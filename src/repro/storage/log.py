@@ -1,0 +1,182 @@
+"""Write-ahead logs with conditional append (*Append@LSN*, §4.3.1).
+
+``SharedLog`` is the ground truth of the database.  Its LSN is the number of
+records appended so far; ``append(..., expected_lsn)`` succeeds only when the
+log end equals the expectation — the compare-and-swap primitive that all of
+MarlinCommit's cross-node conflict detection reduces to.
+
+Record kinds implement the commit protocol's log vocabulary:
+
+* ``COMMIT_DATA`` — a one-phase-commit record: its updates are final the
+  moment the append succeeds.
+* ``VOTE_YES`` — a two-phase-commit participant vote carrying that
+  participant's redo updates; provisional until a decision record lands.
+* ``DECISION_COMMIT`` / ``DECISION_ABORT`` — terminal outcome for a 2PC
+  transaction id; replay applies or discards the buffered ``VOTE_YES``
+  updates accordingly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, NamedTuple, Optional, Tuple, Union
+
+__all__ = [
+    "AppendResult",
+    "Delete",
+    "LogRecord",
+    "Put",
+    "RecordKind",
+    "SharedLog",
+]
+
+
+@dataclass(frozen=True)
+class Put:
+    """Set ``table[key] = value``."""
+
+    table: str
+    key: object
+    value: object
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Remove ``table[key]``."""
+
+    table: str
+    key: object
+
+
+Entry = Union[Put, Delete]
+
+
+class RecordKind(enum.Enum):
+    COMMIT_DATA = "commit-data"
+    VOTE_YES = "vote-yes"
+    DECISION_COMMIT = "decision-commit"
+    DECISION_ABORT = "decision-abort"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One appended record.  ``lsn`` is the log's end LSN *after* this record.
+
+    ``participants`` (present on VOTE_YES records) names every log taking part
+    in the 2PC transaction, enabling the Cornus-style termination protocol:
+    an in-doubt transaction's outcome is decided by the participant logs
+    themselves (all voted yes => committed), never by a blocked coordinator.
+    """
+
+    lsn: int
+    txn_id: str
+    kind: RecordKind
+    entries: Tuple[Entry, ...]
+    participants: Tuple[str, ...] = ()
+
+
+class AppendResult(NamedTuple):
+    """Outcome of a conditional append: matches the paper's
+    ``(status, new_lsn) <- Append(updates, target_lsn)`` signature."""
+
+    ok: bool
+    lsn: int
+
+
+class SharedLog:
+    """An append-only log with an atomic conditional-append primitive."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.records: List[LogRecord] = []
+        self.failed_appends = 0
+        #: Observers called with each newly appended record (replay hooks).
+        self._listeners: List[Callable[[LogRecord], None]] = []
+
+    @property
+    def end_lsn(self) -> int:
+        return len(self.records)
+
+    def subscribe(self, listener: Callable[[LogRecord], None]) -> None:
+        self._listeners.append(listener)
+
+    def append(
+        self,
+        txn_id: str,
+        kind: RecordKind,
+        entries: Tuple[Entry, ...] = (),
+        expected_lsn: Optional[int] = None,
+        participants: Tuple[str, ...] = (),
+    ) -> AppendResult:
+        """Append one record; with ``expected_lsn`` set, this is Append@LSN.
+
+        Returns ``(True, new_end_lsn)`` on success.  On a version mismatch
+        returns ``(False, current_end_lsn)`` so the caller can refresh its
+        tracker and retry — exactly the ETag/If-Match contract of §5.
+        """
+        if expected_lsn is not None and expected_lsn != self.end_lsn:
+            self.failed_appends += 1
+            return AppendResult(False, self.end_lsn)
+        record = LogRecord(
+            lsn=self.end_lsn + 1,
+            txn_id=txn_id,
+            kind=kind,
+            entries=tuple(entries),
+            participants=tuple(participants),
+        )
+        self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+        return AppendResult(True, self.end_lsn)
+
+    def append_batch(
+        self,
+        bodies: List[Tuple[str, RecordKind, Tuple[Entry, ...]]],
+        expected_lsn: Optional[int] = None,
+    ) -> AppendResult:
+        """Atomically append several records (group commit, §5).
+
+        All-or-nothing under the same CAS condition as :meth:`append`; records
+        receive consecutive LSNs.
+        """
+        if expected_lsn is not None and expected_lsn != self.end_lsn:
+            self.failed_appends += 1
+            return AppendResult(False, self.end_lsn)
+        for txn_id, kind, entries in bodies:
+            self.append(txn_id, kind, entries, expected_lsn=None)
+        return AppendResult(True, self.end_lsn)
+
+    def read_from(self, lsn: int) -> List[LogRecord]:
+        """All records with LSN strictly greater than ``lsn``."""
+        if lsn < 0:
+            lsn = 0
+        return self.records[lsn:]
+
+    def record_at(self, lsn: int) -> LogRecord:
+        """The record whose LSN is ``lsn`` (1-based)."""
+        return self.records[lsn - 1]
+
+    def txn_outcome(self, txn_id: str) -> Optional[bool]:
+        """Scan for a decision record: True committed, False aborted, None open.
+
+        Used by the Cornus-style termination protocol for in-doubt 2PC
+        transactions: the logs, not the coordinator, are the source of truth.
+        The *first* decision record wins (log-once semantics): racing
+        resolvers may append conflicting decisions, but every reader agrees
+        on the earliest one.
+        """
+        for record in self.records:
+            if record.txn_id != txn_id:
+                continue
+            if record.kind is RecordKind.DECISION_COMMIT:
+                return True
+            if record.kind is RecordKind.DECISION_ABORT:
+                return False
+        return None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SharedLog({self.name!r}, end_lsn={self.end_lsn})"

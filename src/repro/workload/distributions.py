@@ -1,0 +1,79 @@
+"""Key-selection distributions for workload generators.
+
+``Zipfian`` follows the standard YCSB/Gray self-similar construction with a
+precomputed zeta constant, so hot keys match what the original benchmark
+would produce for the same theta.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+__all__ = ["HotSpot", "Uniform", "Zipfian"]
+
+
+class Uniform:
+    """Uniform over ``[0, n)`` — the paper's default for YCSB (§6.1.3)."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self.n)
+
+
+class Zipfian:
+    """Zipfian over ``[0, n)`` with skew ``theta`` (YCSB's generator)."""
+
+    def __init__(self, n: int, theta: float = 0.99):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self.zetan = self._zeta(n, theta)
+        self.zeta2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        denominator = 1 - self.zeta2 / self.zetan
+        if denominator == 0:  # n == 2: the eta branch is never sampled
+            self.eta = 0.0
+        else:
+            self.eta = (1 - (2.0 / n) ** (1 - theta)) / denominator
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def sample(self, rng: random.Random) -> int:
+        u = rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1) ** self.alpha)
+
+
+class HotSpot:
+    """``hot_fraction`` of accesses hit the first ``hot_set`` fraction of keys."""
+
+    def __init__(self, n: int, hot_set: float = 0.2, hot_fraction: float = 0.8):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not 0 < hot_set <= 1 or not 0 <= hot_fraction <= 1:
+            raise ValueError("hot_set in (0,1], hot_fraction in [0,1]")
+        self.n = n
+        self.hot_keys = max(1, int(n * hot_set))
+        self.hot_fraction = hot_fraction
+
+    def sample(self, rng: random.Random) -> int:
+        if rng.random() < self.hot_fraction:
+            return rng.randrange(self.hot_keys)
+        if self.hot_keys >= self.n:
+            return rng.randrange(self.n)
+        return self.hot_keys + rng.randrange(self.n - self.hot_keys)

@@ -1,0 +1,63 @@
+"""Periodic router synchronization (§4.2).
+
+"Compute nodes can periodically broadcast updates of their owned GTable
+partitions to routers, thereby reducing redirections" — and routers can pull
+the full map with ScanGTableTxn.  ``RouterSyncer`` implements the pull side:
+it periodically asks one live node for a full ownership scan and feeds the
+result to the shared :class:`repro.workload.client.Router`.  Staleness
+between syncs is tolerated (misroutes abort with owner hints), so sync
+failures are logged-and-skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.txn import TxnAborted
+from repro.sim.core import Timeout
+from repro.sim.rpc import RpcError, RpcTimeout
+
+__all__ = ["RouterSyncer"]
+
+
+class RouterSyncer:
+    """Pulls ScanGTableTxn results into a router on a fixed period."""
+
+    def __init__(self, cluster, router, period: float = 2.0):
+        self.cluster = cluster
+        self.router = router
+        self.period = period
+        self.syncs = 0
+        self.failures = 0
+        self._proc = None
+
+    def start(self) -> None:
+        self._proc = self.cluster.sim.spawn(
+            self._loop(), name="router-syncer", daemon=True
+        )
+
+    def stop(self) -> None:
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc = None
+
+    def _loop(self):
+        while True:
+            yield Timeout(self.period)
+            node = self._pick_node()
+            if node is None:
+                continue
+            try:
+                ownership = yield from node.runtime.scan_ownership()
+            except (TxnAborted, RpcTimeout, RpcError):
+                self.failures += 1
+                continue
+            self.router.sync(ownership)
+            self.syncs += 1
+
+    def _pick_node(self):
+        live = self.cluster.live_node_ids()
+        if not live:
+            return None
+        index = self.syncs % len(live)
+        return self.cluster.nodes[live[index]]

@@ -1,0 +1,43 @@
+"""Shared test fixtures: small clusters, generator runners."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+
+
+def make_cluster(
+    coordination="marlin",
+    num_nodes=2,
+    num_keys=2048,
+    keys_per_granule=64,
+    seed=7,
+    **kwargs,
+):
+    """A small, fast cluster for protocol tests (32 granules by default)."""
+    config = ClusterConfig(
+        coordination=coordination,
+        num_nodes=num_nodes,
+        num_keys=num_keys,
+        keys_per_granule=keys_per_granule,
+        seed=seed,
+        **kwargs,
+    )
+    return Cluster(config)
+
+
+def run_gen(cluster, gen, limit=60.0):
+    """Spawn a protocol generator on the cluster's simulator and run it.
+
+    Spawned as a daemon so the generator's own exception (not a
+    ProcessCrashed wrapper) propagates to the caller.
+    """
+    proc = cluster.sim.spawn(gen, name="test-gen", daemon=True)
+    return cluster.sim.run_until(proc.result, limit=limit)
+
+
+@pytest.fixture
+def marlin_pair():
+    """Two-node Marlin cluster, settled past bootstrap replay."""
+    cluster = make_cluster("marlin", num_nodes=2)
+    cluster.run(until=0.05)
+    return cluster

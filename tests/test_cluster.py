@@ -1,0 +1,213 @@
+"""Tests for cluster orchestration: bootstrap, scale-out/in, geo layout."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.invariants import check_invariants, check_view_consistency
+from repro.engine.node import SYSLOG
+from tests.conftest import make_cluster, run_gen
+
+
+class TestBootstrap:
+    def test_initial_assignment_covers_all_granules(self):
+        cluster = make_cluster("marlin", num_nodes=4, num_keys=4096)
+        cluster.settle()
+        check_invariants(
+            cluster.ground_truth_gtable(),
+            cluster.gmap.num_granules,
+            cluster.ground_truth_mtable(),
+        )
+        check_view_consistency(
+            [cluster.nodes[n] for n in cluster.live_node_ids()],
+            cluster.gmap.num_granules,
+        )
+
+    def test_views_match_ground_truth(self):
+        cluster = make_cluster("marlin", num_nodes=3, num_keys=3072)
+        cluster.settle()
+        truth = cluster.ground_truth_gtable()
+        for node in cluster.nodes.values():
+            assert node.gtable == truth
+
+    def test_balanced_initial_ownership(self):
+        cluster = make_cluster("marlin", num_nodes=4, num_keys=4096)
+        counts = [len(cluster.nodes[n].owned_granules()) for n in range(4)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_membership_bootstrap(self):
+        cluster = make_cluster("marlin", num_nodes=3)
+        cluster.settle()
+        assert sorted(cluster.ground_truth_mtable()) == [0, 1, 2]
+        for node in cluster.nodes.values():
+            assert sorted(node.mtable) == [0, 1, 2]
+
+    def test_external_service_seeded(self):
+        cluster = make_cluster("zk-small", num_nodes=2)
+        assert cluster.service.data["/members/0"] == "node-0"
+        assert cluster.service.data["/granules/0"] == 0
+
+    def test_unknown_coordination_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(coordination="etcd")
+
+    def test_home_region_must_be_in_regions(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(regions=("asia-east",), home_region="us-west")
+
+
+class TestScaleOut:
+    @pytest.mark.parametrize("kind", ["marlin", "zk-small", "fdb"])
+    def test_doubling_rebalances(self, kind):
+        cluster = make_cluster(kind, num_nodes=2, num_keys=4096)
+        cluster.run(until=0.05)
+        summary = run_gen(cluster, cluster.scale_out(2))
+        assert summary["kind"] == "scale-out"
+        assert summary["migrated"] > 0
+        cluster.settle()
+        counts = [len(cluster.nodes[n].owned_granules()) for n in range(4)]
+        assert max(counts) - min(counts) <= 1
+        check_view_consistency(
+            [cluster.nodes[n] for n in cluster.live_node_ids()],
+            cluster.gmap.num_granules,
+        )
+
+    def test_marlin_scale_out_holds_invariants(self):
+        cluster = make_cluster("marlin", num_nodes=2, num_keys=4096)
+        cluster.run(until=0.05)
+        run_gen(cluster, cluster.scale_out(2))
+        cluster.settle()
+        check_invariants(
+            cluster.ground_truth_gtable(),
+            cluster.gmap.num_granules,
+            cluster.ground_truth_mtable(),
+        )
+
+    def test_new_nodes_join_membership(self):
+        cluster = make_cluster("marlin", num_nodes=2)
+        cluster.run(until=0.05)
+        run_gen(cluster, cluster.scale_out(1))
+        cluster.settle()
+        assert sorted(cluster.ground_truth_mtable()) == [0, 1, 2]
+
+    def test_node_count_metric_updated(self):
+        cluster = make_cluster("marlin", num_nodes=2)
+        cluster.run(until=0.05)
+        run_gen(cluster, cluster.scale_out(2))
+        counts = [n for _t, n in cluster.metrics.node_count_events]
+        assert counts == [2, 4]
+
+    def test_provision_delay_respected(self):
+        cluster = make_cluster("marlin", num_nodes=2, provision_delay=1.0)
+        cluster.run(until=0.05)
+        t0 = cluster.sim.now
+        summary = run_gen(cluster, cluster.scale_out(1))
+        assert summary["duration"] >= 1.0
+
+
+class TestScaleIn:
+    @pytest.mark.parametrize("kind", ["marlin", "zk-small"])
+    def test_drain_and_remove(self, kind):
+        cluster = make_cluster(kind, num_nodes=4, num_keys=4096)
+        cluster.run(until=0.05)
+        summary = run_gen(cluster, cluster.scale_in([2, 3]))
+        assert summary["removed"] == [2, 3]
+        cluster.settle()
+        assert cluster.live_node_ids() == [0, 1]
+        check_view_consistency(
+            [cluster.nodes[n] for n in cluster.live_node_ids()],
+            cluster.gmap.num_granules,
+        )
+
+    def test_victims_leave_membership(self):
+        cluster = make_cluster("marlin", num_nodes=3)
+        cluster.run(until=0.05)
+        run_gen(cluster, cluster.scale_in([2]))
+        cluster.settle()
+        assert sorted(cluster.ground_truth_mtable()) == [0, 1]
+
+    def test_cannot_remove_all(self):
+        cluster = make_cluster("marlin", num_nodes=2)
+        cluster.run(until=0.05)
+        with pytest.raises(ValueError):
+            run_gen(cluster, cluster.scale_in([0, 1]))
+
+    def test_scale_cycle_out_then_in(self):
+        cluster = make_cluster("marlin", num_nodes=2, num_keys=4096)
+        cluster.run(until=0.05)
+        run_gen(cluster, cluster.scale_out(2))
+        cluster.settle()
+        run_gen(cluster, cluster.scale_in([2, 3]))
+        cluster.settle()
+        check_invariants(
+            cluster.ground_truth_gtable(),
+            cluster.gmap.num_granules,
+            cluster.ground_truth_mtable(),
+        )
+        counts = [len(cluster.nodes[n].owned_granules()) for n in (0, 1)]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestGeoLayout:
+    def test_nodes_round_robin_regions(self):
+        cluster = make_cluster(
+            "marlin",
+            num_nodes=4,
+            regions=("us-west", "asia-east"),
+            home_region="us-west",
+        )
+        assert cluster.nodes[0].region == "us-west"
+        assert cluster.nodes[1].region == "asia-east"
+        assert cluster.nodes[2].region == "us-west"
+
+    def test_glogs_live_in_node_region(self):
+        cluster = make_cluster(
+            "marlin",
+            num_nodes=2,
+            regions=("us-west", "asia-east"),
+            home_region="us-west",
+        )
+        assert cluster.log_directory["glog-1"] == "storage-asia-east"
+        assert cluster.log_directory[SYSLOG] == "storage-us-west"
+
+    def test_geo_scale_out_works(self):
+        cluster = make_cluster(
+            "marlin",
+            num_nodes=2,
+            num_keys=2048,
+            regions=("us-west", "asia-east"),
+            home_region="us-west",
+        )
+        cluster.run(until=0.05)
+        summary = run_gen(cluster, cluster.scale_out(2))
+        assert summary["migrated"] > 0
+        cluster.settle(0.5)
+        check_view_consistency(
+            [cluster.nodes[n] for n in cluster.live_node_ids()],
+            cluster.gmap.num_granules,
+        )
+
+
+class TestPricing:
+    def test_marlin_meta_cost_zero(self):
+        cluster = make_cluster("marlin", num_nodes=2)
+        cluster.run(until=10.0)
+        report = cluster.price()
+        assert report.meta_cost == 0.0
+        assert report.db_cost > 0
+
+    def test_zk_meta_cost_positive(self):
+        cluster = make_cluster("zk-small", num_nodes=2)
+        cluster.run(until=10.0)
+        report = cluster.price()
+        assert report.meta_cost == pytest.approx(10.0 / 3600 * 0.597)
+
+    def test_db_cost_tracks_node_count(self):
+        cluster = make_cluster("marlin", num_nodes=2)
+        cluster.run(until=0.05)
+        run_gen(cluster, cluster.scale_out(2))
+        cluster.run(until=100.0)
+        report = cluster.price()
+        # 2 nodes briefly, then 4: cost between the 2-node and 4-node prices.
+        two = 100 / 3600 * 2 * 0.192
+        four = 100 / 3600 * 4 * 0.192
+        assert two < report.db_cost <= four

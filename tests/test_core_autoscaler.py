@@ -1,0 +1,77 @@
+"""Tests for the autoscaling controller (§6.6)."""
+
+import pytest
+
+from repro.core.autoscaler import Autoscaler
+from tests.conftest import make_cluster
+
+
+@pytest.fixture
+def cluster():
+    c = make_cluster("marlin", num_nodes=2, num_keys=4096)
+    c.run(until=0.05)
+    return c
+
+
+class TestPolicy:
+    def test_desired_nodes_from_load(self, cluster):
+        scaler = Autoscaler(cluster, clients_per_node=25, min_nodes=2, max_nodes=16)
+        cluster.client_count = 100
+        assert scaler.desired_nodes() == 4
+        cluster.client_count = 101
+        assert scaler.desired_nodes() == 5
+
+    def test_clamped_to_bounds(self, cluster):
+        scaler = Autoscaler(cluster, clients_per_node=25, min_nodes=2, max_nodes=4)
+        cluster.client_count = 1000
+        assert scaler.desired_nodes() == 4
+        cluster.client_count = 0
+        assert scaler.desired_nodes() == 2
+
+
+class TestScalingActions:
+    def test_scales_out_on_load_increase(self, cluster):
+        scaler = Autoscaler(
+            cluster, interval=0.5, clients_per_node=25, min_nodes=2, cooldown=0.1
+        )
+        scaler.start()
+        cluster.client_count = 100
+        cluster.run(until=5.0)
+        scaler.stop()
+        assert len(cluster.live_node_ids()) == 4
+        assert any(a["kind"] == "scale-out" for a in scaler.actions)
+
+    def test_scales_in_on_load_drop(self, cluster):
+        scaler = Autoscaler(
+            cluster, interval=0.5, clients_per_node=25, min_nodes=2, cooldown=0.1
+        )
+        cluster.client_count = 100
+        scaler.start()
+        cluster.run(until=5.0)
+        assert len(cluster.live_node_ids()) == 4
+        cluster.client_count = 40
+        cluster.run(until=10.0)
+        scaler.stop()
+        assert len(cluster.live_node_ids()) == 2
+        assert any(a["kind"] == "scale-in" for a in scaler.actions)
+
+    def test_steady_load_no_actions(self, cluster):
+        scaler = Autoscaler(
+            cluster, interval=0.5, clients_per_node=25, min_nodes=2, cooldown=0.1
+        )
+        cluster.client_count = 50
+        scaler.start()
+        cluster.run(until=5.0)
+        scaler.stop()
+        assert scaler.actions == []
+        assert len(cluster.live_node_ids()) == 2
+
+    def test_cooldown_limits_action_rate(self, cluster):
+        scaler = Autoscaler(
+            cluster, interval=0.2, clients_per_node=25, min_nodes=2, cooldown=10.0
+        )
+        scaler.start()
+        cluster.client_count = 100
+        cluster.run(until=3.0)
+        scaler.stop()
+        assert len(scaler.actions) <= 1

@@ -1,0 +1,216 @@
+"""Tests for the extension features: suspicion voting, router sync,
+single-writer archetype (the paper's §4.4.2 optimization and §5
+generalization)."""
+
+import pytest
+
+from repro.core.archetypes import PRIMARY_KEY, SingleWriterCoordinator
+from repro.core.suspicion import SuspicionFailureDetector, suspect_key
+from repro.engine.node import MTABLE, SYSLOG
+from repro.workload.syncer import RouterSyncer
+from repro.workload.client import Router
+from tests.conftest import make_cluster, run_gen
+
+
+def attach_detectors(cluster, **kwargs):
+    detectors = {}
+    for nid in cluster.live_node_ids():
+        det = SuspicionFailureDetector(cluster.nodes[nid].runtime, **kwargs)
+        det.start()
+        detectors[nid] = det
+    return detectors
+
+
+class TestSuspicionVoting:
+    def test_healthy_cluster_casts_no_votes(self):
+        cluster = make_cluster("marlin", num_nodes=3, num_keys=3072, seed=31)
+        detectors = attach_detectors(cluster)
+        cluster.run(until=5.0)
+        assert all(d.votes_cast == 0 for d in detectors.values())
+        assert cluster.metrics.failovers == []
+
+    def test_votes_recorded_in_mtable(self):
+        cluster = make_cluster("marlin", num_nodes=4, num_keys=4096, seed=32)
+        detectors = attach_detectors(
+            cluster, vote_threshold=3, miss_threshold=2, successors=2
+        )
+        cluster.fail_node(1)
+        cluster.run(until=4.0)
+        voters = [
+            d for nid, d in detectors.items() if nid != 1 and d.votes_cast
+        ]
+        assert voters
+        mtable = cluster.nodes[0].mtable
+        assert any(
+            isinstance(k, str) and k.startswith("suspect:1:") for k in mtable
+        )
+
+    def test_threshold_two_evicts_dead_node(self):
+        cluster = make_cluster("marlin", num_nodes=4, num_keys=4096, seed=33)
+        attach_detectors(cluster, vote_threshold=2, successors=2)
+        cluster.run(until=0.5)
+        cluster.fail_node(2)
+        cluster.run(until=12.0)
+        assert cluster.metrics.failovers
+        assert 2 not in cluster.ground_truth_mtable()
+        # Suspicion rows were cleaned up after the failover.
+        survivors = [n for n in cluster.live_node_ids()]
+        mtable = cluster.nodes[survivors[0]].mtable
+        assert not any(
+            isinstance(k, str) and k.startswith("suspect:2:") for k in mtable
+        )
+
+    def test_single_slow_probe_does_not_evict(self):
+        """With threshold 2, one voter alone never triggers failover."""
+        cluster = make_cluster("marlin", num_nodes=3, num_keys=3072, seed=34)
+        det = SuspicionFailureDetector(
+            cluster.nodes[0].runtime, vote_threshold=2, successors=1
+        )
+        det.start()  # only node 0 monitors
+        cluster.fail_node(1)
+        cluster.run(until=6.0)
+        assert det.votes_cast >= 1
+        assert det.failovers_started == 0
+        assert 1 in cluster.ground_truth_mtable()
+
+    def test_recovered_node_vote_retracted(self):
+        cluster = make_cluster("marlin", num_nodes=3, num_keys=3072, seed=35)
+        det = SuspicionFailureDetector(
+            cluster.nodes[0].runtime, vote_threshold=5, successors=1
+        )
+        det.start()
+        cluster.fail_node(1)
+        cluster.run(until=4.0)
+        assert det.votes_cast >= 1
+        assert suspect_key(1, 0) in cluster.nodes[0].mtable
+        cluster.resume_node(1)
+        cluster.run(until=8.0)
+        assert det.retractions >= 1
+        assert suspect_key(1, 0) not in cluster.nodes[0].mtable
+
+    def test_member_ids_ignore_suspect_rows(self):
+        cluster = make_cluster("marlin", num_nodes=2, seed=36)
+        node = cluster.nodes[0]
+        node.mtable[suspect_key(1, 0)] = 1.0
+        assert node.member_ids() == [0, 1]
+        assert node.runtime.members() == {0: "node-0", 1: "node-1"}
+
+
+class TestRouterSyncer:
+    def test_sync_pulls_full_map(self):
+        cluster = make_cluster("marlin", num_nodes=2, num_keys=2048, seed=37)
+        cluster.run(until=0.05)
+        router = Router({})
+        syncer = RouterSyncer(cluster, router, period=0.5)
+        syncer.start()
+        cluster.run(until=1.5)
+        assert syncer.syncs >= 1
+        assert len(router.map) == cluster.gmap.num_granules
+
+    def test_sync_tracks_migrations(self):
+        cluster = make_cluster("marlin", num_nodes=2, num_keys=2048, seed=38)
+        cluster.run(until=0.05)
+        router = Router(cluster.assignment_from_views())
+        syncer = RouterSyncer(cluster, router, period=0.5)
+        syncer.start()
+        granule = cluster.nodes[1].owned_granules()[0]
+        run_gen(cluster, cluster.nodes[0].runtime.migrate(granule, 1, 0))
+        cluster.run(until=cluster.sim.now + 1.5)
+        assert router.map[granule] == 0
+
+    def test_sync_survives_frozen_node(self):
+        cluster = make_cluster("marlin", num_nodes=3, num_keys=3072, seed=39)
+        cluster.run(until=0.05)
+        router = Router({})
+        syncer = RouterSyncer(cluster, router, period=0.4)
+        syncer.start()
+        cluster.fail_node(2)
+        cluster.run(until=4.0)
+        # Scans that touch the frozen member abort and are skipped.
+        assert syncer.failures >= 1
+        syncer.stop()
+
+    def test_stop_halts_sync(self):
+        cluster = make_cluster("marlin", num_nodes=2, seed=40)
+        cluster.run(until=0.05)
+        router = Router({})
+        syncer = RouterSyncer(cluster, router, period=0.3)
+        syncer.start()
+        cluster.run(until=1.0)
+        count = syncer.syncs
+        syncer.stop()
+        cluster.run(until=3.0)
+        assert syncer.syncs == count
+
+
+class TestSingleWriterArchetype:
+    def make_pair(self):
+        cluster = make_cluster("marlin", num_nodes=2, num_keys=1024, seed=41)
+        cluster.run(until=0.05)
+        coords = {
+            nid: SingleWriterCoordinator(cluster.nodes[nid].runtime)
+            for nid in (0, 1)
+        }
+        return cluster, coords
+
+    def test_bootstrap_first_writer_wins(self):
+        cluster, coords = self.make_pair()
+        assert run_gen(cluster, coords[0].bootstrap_primary())
+        assert coords[0].is_primary()
+        assert not run_gen(cluster, coords[1].bootstrap_primary())
+
+    def test_promotion_after_primary_failure(self):
+        cluster, coords = self.make_pair()
+        run_gen(cluster, coords[0].bootstrap_primary())
+        cluster.fail_node(0)
+        ok = run_gen(cluster, coords[1].promote(failed_primary=0))
+        assert ok
+        assert coords[1].is_primary()
+        cluster.settle()
+        home = cluster.storages[cluster.config.home_region]
+        assert home.pagestore.get(MTABLE, PRIMARY_KEY) == 1
+
+    def test_stale_promotion_validates(self):
+        """Promoting 'from' a node that is no longer primary is refused."""
+        cluster, coords = self.make_pair()
+        run_gen(cluster, coords[0].bootstrap_primary())
+        assert not run_gen(cluster, coords[1].promote(failed_primary=99))
+
+    def test_returned_old_primary_sees_new_one(self):
+        cluster, coords = self.make_pair()
+        run_gen(cluster, coords[0].bootstrap_primary())
+        cluster.fail_node(0)
+        run_gen(cluster, coords[1].promote(failed_primary=0))
+        cluster.resume_node(0)
+        # The old primary still believes it holds the role; when it tries to
+        # re-assert (replacing "failed" primary 0 = itself), the
+        # authoritative refresh reveals node 1 took over, and the validation
+        # step refuses.
+        assert coords[0].is_primary()
+        ok = run_gen(cluster, coords[0].promote(failed_primary=0))
+        assert not ok
+        assert coords[0].current_primary() == 1
+        assert not coords[0].is_primary()
+
+    def test_demote_releases_role(self):
+        cluster, coords = self.make_pair()
+        run_gen(cluster, coords[0].bootstrap_primary())
+        assert run_gen(cluster, coords[0].demote())
+        assert coords[0].current_primary() is None
+        assert run_gen(cluster, coords[1].bootstrap_primary())
+
+    def test_concurrent_promotions_one_winner(self):
+        cluster, coords = self.make_pair()
+        run_gen(cluster, coords[0].bootstrap_primary())
+        cluster.fail_node(0)
+        cluster.run(until=cluster.sim.now + 0.05)
+        node2 = cluster._make_node(2)
+        node2.start()
+        coords[2] = SingleWriterCoordinator(node2.runtime)
+        p1 = cluster.sim.spawn(coords[1].promote(failed_primary=0), daemon=True)
+        p2 = cluster.sim.spawn(coords[2].promote(failed_primary=0), daemon=True)
+        cluster.run(until=cluster.sim.now + 2.0)
+        results = [p.result.result() for p in (p1, p2)]
+        assert sum(bool(r) for r in results) == 1
+        winner = 1 if results[0] else 2
+        assert coords[winner].is_primary()

@@ -1,0 +1,126 @@
+"""Tests for ring failure detection and the failover driver (§4.4.2)."""
+
+import pytest
+
+from repro.core.failure import RingFailureDetector, run_failover
+from repro.core.invariants import check_invariants, check_view_consistency
+from repro.engine.node import SYSLOG
+from tests.conftest import make_cluster, run_gen
+
+
+@pytest.fixture
+def trio():
+    cluster = make_cluster("marlin", num_nodes=3, num_keys=3072)
+    cluster.run(until=0.05)
+    return cluster
+
+
+class TestRingTargets:
+    def test_successor_ring(self, trio):
+        det0 = RingFailureDetector(trio.nodes[0].runtime)
+        det2 = RingFailureDetector(trio.nodes[2].runtime)
+        assert det0.ring_targets() == [1]
+        assert det2.ring_targets() == [0]  # wraps around
+
+    def test_two_successors(self, trio):
+        det = RingFailureDetector(trio.nodes[0].runtime, successors=2)
+        assert det.ring_targets() == [1, 2]
+
+    def test_single_node_has_no_targets(self):
+        cluster = make_cluster("marlin", num_nodes=1)
+        det = RingFailureDetector(cluster.nodes[0].runtime)
+        assert det.ring_targets() == []
+
+    def test_targets_follow_membership(self, trio):
+        det = RingFailureDetector(trio.nodes[0].runtime)
+        trio.nodes[0].mtable.pop(1)
+        assert det.ring_targets() == [2]
+
+
+class TestRunFailover:
+    def test_takes_granules_and_removes_member(self, trio):
+        victim_granules = trio.nodes[2].owned_granules()
+        trio.fail_node(2)
+        trio.settle()
+        taken = run_gen(trio, run_failover(trio.nodes[0].runtime, 2))
+        assert sorted(taken) == victim_granules
+        assert 2 not in trio.nodes[0].mtable
+        trio.settle()
+        check_invariants(
+            trio.ground_truth_gtable(), trio.gmap.num_granules,
+            trio.ground_truth_mtable(),
+        )
+
+    def test_noop_for_unknown_node(self, trio):
+        taken = run_gen(trio, run_failover(trio.nodes[0].runtime, 42))
+        assert taken == []
+
+    def test_failover_broadcast_syncs_survivors(self, trio):
+        trio.fail_node(2)
+        trio.settle()
+        run_gen(trio, run_failover(trio.nodes[0].runtime, 2))
+        trio.run(until=trio.sim.now + 0.1)
+        assert 2 not in trio.nodes[1].mtable
+        # Node 1 learned the new owner of the dead node's granules.
+        assert all(owner != 2 for owner in trio.nodes[1].gtable.values())
+
+    def test_concurrent_failovers_are_safe(self, trio):
+        trio.fail_node(2)
+        trio.settle()
+        p0 = trio.sim.spawn(run_failover(trio.nodes[0].runtime, 2), daemon=True)
+        p1 = trio.sim.spawn(run_failover(trio.nodes[1].runtime, 2), daemon=True)
+        trio.run(until=trio.sim.now + 5.0)
+        taken0 = p0.result.result() if p0.result.exception is None else []
+        taken1 = p1.result.result() if p1.result.exception is None else []
+        assert set(taken0).isdisjoint(taken1)
+        trio.settle()
+        live = [trio.nodes[n] for n in trio.live_node_ids()]
+        check_view_consistency(live, trio.gmap.num_granules)
+
+
+class TestEndToEndDetection:
+    def test_detector_drives_failover(self):
+        cluster = make_cluster(
+            "marlin", num_nodes=3, num_keys=3072, failure_detection=True
+        )
+        cluster.run(until=0.5)
+        cluster.fail_node(1)
+        cluster.run(until=10.0)
+        assert cluster.metrics.failovers
+        t, dead, granules = cluster.metrics.failovers[0]
+        assert dead == 1 and granules > 0
+        assert 1 not in cluster.ground_truth_mtable()
+        check_invariants(
+            cluster.ground_truth_gtable(),
+            cluster.gmap.num_granules,
+            cluster.ground_truth_mtable(),
+        )
+
+    def test_healthy_cluster_never_fails_over(self):
+        cluster = make_cluster(
+            "marlin", num_nodes=3, num_keys=3072, failure_detection=True
+        )
+        cluster.run(until=5.0)
+        assert cluster.metrics.failovers == []
+        assert sorted(cluster.ground_truth_mtable()) == [0, 1, 2]
+
+    def test_revived_node_is_fenced(self):
+        """After failover, the revived node cannot commit on stolen granules."""
+        cluster = make_cluster(
+            "marlin", num_nodes=3, num_keys=3072, failure_detection=True
+        )
+        cluster.run(until=0.5)
+        stolen = cluster.nodes[1].owned_granules()
+        cluster.fail_node(1)
+        cluster.run(until=8.0)
+        assert cluster.metrics.failovers
+        cluster.resume_node(1)
+        # The revived node still *believes* it owns the granules...
+        assert cluster.nodes[1].owned_granules() == stolen
+        from repro.storage.log import RecordKind
+
+        fut = cluster.nodes[1].committer.submit(
+            "revived-txn", RecordKind.COMMIT_DATA, ()
+        )
+        cluster.run(until=cluster.sim.now + 1.0)
+        assert not fut.result().ok  # CAS fenced by RecoveryMigrTxn's append

@@ -1,0 +1,59 @@
+"""Tests for the invariant checker itself."""
+
+import pytest
+
+from repro.core.invariants import (
+    InvariantViolation,
+    check_invariants,
+    check_view_consistency,
+)
+
+
+class FakeNode:
+    def __init__(self, node_id, owned, frozen=False):
+        self.node_id = node_id
+        self._owned = list(owned)
+        self.frozen = frozen
+
+    def owned_granules(self):
+        return self._owned
+
+
+class TestCheckInvariants:
+    def test_valid_snapshot_passes(self):
+        check_invariants({0: 1, 1: 1, 2: 2}, 3, {1: "node-1", 2: "node-2"})
+
+    def test_orphan_granule_fails(self):
+        with pytest.raises(InvariantViolation, match="I3"):
+            check_invariants({0: 1, 2: 2}, 3)
+
+    def test_unknown_granule_fails(self):
+        with pytest.raises(InvariantViolation, match="unknown"):
+            check_invariants({0: 1, 1: 1, 7: 1}, 2)
+
+    def test_non_member_owner_fails(self):
+        with pytest.raises(InvariantViolation, match="I2"):
+            check_invariants({0: 9}, 1, {1: "node-1"})
+
+    def test_membership_optional(self):
+        check_invariants({0: 9}, 1)  # no membership given: owner unchecked
+
+
+class TestViewConsistency:
+    def test_disjoint_views_pass(self):
+        nodes = [FakeNode(1, [0, 1]), FakeNode(2, [2, 3])]
+        check_view_consistency(nodes, 4)
+
+    def test_dual_claim_fails(self):
+        nodes = [FakeNode(1, [0, 1]), FakeNode(2, [1])]
+        with pytest.raises(InvariantViolation, match="I4"):
+            check_view_consistency(nodes, 2)
+
+    def test_unclaimed_granule_fails(self):
+        nodes = [FakeNode(1, [0])]
+        with pytest.raises(InvariantViolation, match="I5"):
+            check_view_consistency(nodes, 2)
+
+    def test_frozen_nodes_ignored(self):
+        nodes = [FakeNode(1, [0, 1]), FakeNode(2, [0], frozen=True)]
+        check_view_consistency(nodes, 2)  # frozen claim doesn't count

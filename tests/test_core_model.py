@@ -1,0 +1,122 @@
+"""Executable TLA+ model: random-interleaving exploration of migration.
+
+Mirrors the appendix's TLC configuration (3 nodes, 6 granules, 6 migrations)
+and then pushes beyond it with hypothesis-driven exploration.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import MigrationModel, ModelViolation, Update
+
+
+def tlc_model(num_migrations=6):
+    return MigrationModel(nodes=[1, 2, 3], granules=[1, 2, 3, 4, 5, 6],
+                          num_migrations=num_migrations)
+
+
+class TestModelBasics:
+    def test_initial_state_satisfies_invariants(self):
+        tlc_model().check_invariants()
+
+    def test_spec_assumption_enforced(self):
+        with pytest.raises(ValueError):
+            MigrationModel(nodes=[1, 2, 3], granules=[1, 2], num_migrations=1)
+
+    def test_do_migrate_updates_both_views(self):
+        m = tlc_model()
+        src, g, dst = m.enabled_migrations()[0]
+        m.do_migrate(src, g, dst)
+        assert m.gtabs[src][g] == dst
+        assert m.gtabs[dst][g] == dst
+        assert len(m.glogs[src]) == 1 and len(m.glogs[dst]) == 1
+        m.check_invariants()
+
+    def test_do_migrate_precondition(self):
+        m = tlc_model()
+        g = 1
+        owner = m.gtabs[1][g]
+        non_owner = next(n for n in m.nodes if n != owner)
+        with pytest.raises(ValueError):
+            m.do_migrate(non_owner, g, owner)
+
+    def test_refresh_propagates_update(self):
+        m = tlc_model()
+        src, g, dst = m.enabled_migrations()[0]
+        m.do_migrate(src, g, dst)
+        third = next(n for n in m.nodes if n not in (src, dst))
+        refreshes = [(n, u) for n, u in m.enabled_refreshes() if n == third]
+        assert refreshes
+        node, update = refreshes[0]
+        m.do_refresh(node, update)
+        assert m.gtabs[third][g] == dst
+        m.check_invariants()
+
+    def test_refresh_precondition(self):
+        m = tlc_model()
+        bogus = Update(99, 1, 2, 3)
+        m.glogs[2].append(bogus)
+        if m.gtabs[1][1] != 2:
+            with pytest.raises(ValueError):
+                m.do_refresh(1, bogus)
+
+    def test_migrations_bounded(self):
+        m = tlc_model(num_migrations=2)
+        rng = random.Random(0)
+        while m.step(rng):
+            pass
+        assert m.num_done == 2
+
+    def test_termination_reaches_converged_views(self):
+        m = tlc_model()
+        m.run(seed=3)
+        assert m.terminated
+        views = [tuple(sorted(m.gtabs[n].items())) for n in m.nodes]
+        assert len(set(views)) == 1
+
+    def test_dual_ownership_detected(self):
+        m = tlc_model()
+        g = 1
+        m.gtabs[1][g] = 1
+        m.gtabs[2][g] = 2
+        with pytest.raises(ModelViolation):
+            m.check_no_dual_ownership()
+
+    def test_orphan_detected(self):
+        m = tlc_model()
+        g = 1
+        for n in m.nodes:
+            m.gtabs[n][g] = 0  # nobody claims it
+        with pytest.raises(ModelViolation):
+            m.check_has_one_ownership()
+
+
+class TestTlcConfiguration:
+    """The appendix's exact model-checking inputs, many random traces."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_traces_hold_invariants(self, seed):
+        m = tlc_model()
+        steps = m.run(seed=seed, check_each_step=True)
+        assert steps >= 6  # at least the six migrations happened
+        assert m.terminated
+
+
+class TestHypothesisExploration:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=5),
+        granules_per_node=st.integers(min_value=1, max_value=4),
+        migrations=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_invariants_hold_for_arbitrary_configs(
+        self, n_nodes, granules_per_node, migrations, seed
+    ):
+        nodes = list(range(1, n_nodes + 1))
+        granules = list(range(n_nodes * granules_per_node))
+        m = MigrationModel(nodes, granules, migrations)
+        m.run(seed=seed, check_each_step=True)
+        assert m.terminated

@@ -1,0 +1,143 @@
+"""Unit tests for the clock-replacement cache manager."""
+
+import pytest
+
+from repro.engine.buffer import MISS, CacheManager
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = CacheManager(4)
+        assert cache.get("p1") is MISS
+        cache.put("p1", "v1")
+        assert cache.get("p1") == "v1"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_update_in_place(self):
+        cache = CacheManager(4)
+        cache.put("p1", "old")
+        cache.put("p1", "new")
+        assert cache.get("p1") == "new"
+        assert len(cache) == 1
+
+    def test_cached_none_is_not_miss(self):
+        cache = CacheManager(4)
+        cache.put("p1", None)
+        assert cache.get("p1") is None
+
+    def test_contains_and_len(self):
+        cache = CacheManager(4)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        assert len(cache) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CacheManager(0)
+
+    def test_hit_ratio(self):
+        cache = CacheManager(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+
+class TestClockEviction:
+    def test_evicts_when_full(self):
+        cache = CacheManager(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get("c") == 3
+
+    def test_second_chance_protects_referenced(self):
+        cache = CacheManager(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        # Reference "a" so its ref bit survives one clock sweep; the clock
+        # clears both ref bits then evicts "a" (hand order) only after "b".
+        cache.get("a")  # ref(a)=1
+        cache.put("c", 3)
+        # "a" was re-referenced: after one sweep, a victim must be found among
+        # pages with ref=0; "b" was not re-referenced after insertion sweep.
+        assert "c" in cache
+        assert len(cache) == 2
+
+    def test_all_referenced_still_evicts_one(self):
+        cache = CacheManager(3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        for key in ("a", "b", "c"):
+            cache.get(key)
+        cache.put("d", "d")
+        assert len(cache) == 3
+        assert "d" in cache
+
+    def test_eviction_order_unreferenced_first(self):
+        cache = CacheManager(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.get("b")
+        cache.get("c")
+        cache.put("d", 4)  # "a" has ref from insert; sweep clears, evicts a
+        cache.put("e", 5)
+        assert "d" in cache and "e" in cache
+
+    def test_pinned_pages_never_evicted(self):
+        cache = CacheManager(2)
+        cache.put("a", 1)
+        cache.pin("a")
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.put("d", 4)
+        assert cache.get("a") == 1
+        cache.unpin("a")
+
+    def test_all_pinned_raises(self):
+        cache = CacheManager(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.pin("a")
+        cache.pin("b")
+        with pytest.raises(RuntimeError):
+            cache.put("c", 3)
+
+    def test_heavy_churn_respects_capacity(self):
+        cache = CacheManager(16)
+        for i in range(1000):
+            cache.put(i, i)
+        assert len(cache) == 16
+        assert cache.evictions == 1000 - 16
+
+
+class TestInvalidate:
+    def test_invalidate_cached(self):
+        cache = CacheManager(4)
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert cache.get("a") is MISS
+
+    def test_invalidate_missing(self):
+        cache = CacheManager(4)
+        assert cache.invalidate("nope") is False
+
+    def test_hole_is_reused(self):
+        cache = CacheManager(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.invalidate("a")
+        cache.put("c", 3)
+        assert "b" in cache and "c" in cache
+
+    def test_clear(self):
+        cache = CacheManager(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is MISS
+        cache.put("b", 2)  # usable after clear
+        assert cache.get("b") == 2

@@ -1,0 +1,125 @@
+"""Unit tests for the NO_WAIT 2PL lock table."""
+
+import pytest
+
+from repro.engine.locks import LockConflict, LockTable
+
+
+@pytest.fixture
+def locks():
+    return LockTable()
+
+
+class TestSharedLocks:
+    def test_multiple_readers(self, locks):
+        locks.acquire("t1", "k", exclusive=False)
+        locks.acquire("t2", "k", exclusive=False)
+        assert locks.holders("k") == {"t1", "t2"}
+
+    def test_reader_blocks_writer(self, locks):
+        locks.acquire("t1", "k", exclusive=False)
+        with pytest.raises(LockConflict):
+            locks.acquire("t2", "k", exclusive=True)
+
+    def test_reacquire_shared_is_noop(self, locks):
+        locks.acquire("t1", "k", exclusive=False)
+        locks.acquire("t1", "k", exclusive=False)
+        assert locks.holders("k") == {"t1"}
+
+
+class TestExclusiveLocks:
+    def test_writer_blocks_writer(self, locks):
+        locks.acquire("t1", "k", exclusive=True)
+        with pytest.raises(LockConflict):
+            locks.acquire("t2", "k", exclusive=True)
+
+    def test_writer_blocks_reader(self, locks):
+        locks.acquire("t1", "k", exclusive=True)
+        with pytest.raises(LockConflict):
+            locks.acquire("t2", "k", exclusive=False)
+
+    def test_holder_reads_own_exclusive(self, locks):
+        locks.acquire("t1", "k", exclusive=True)
+        locks.acquire("t1", "k", exclusive=False)  # no conflict
+        assert locks.is_exclusive("k")
+
+
+class TestUpgrades:
+    def test_sole_holder_upgrades(self, locks):
+        locks.acquire("t1", "k", exclusive=False)
+        locks.acquire("t1", "k", exclusive=True)
+        assert locks.is_exclusive("k")
+
+    def test_shared_holder_cannot_upgrade_with_others(self, locks):
+        locks.acquire("t1", "k", exclusive=False)
+        locks.acquire("t2", "k", exclusive=False)
+        with pytest.raises(LockConflict):
+            locks.acquire("t1", "k", exclusive=True)
+
+
+class TestRelease:
+    def test_release_all_frees_locks(self, locks):
+        locks.acquire("t1", "a", exclusive=True)
+        locks.acquire("t1", "b", exclusive=False)
+        locks.release_all("t1")
+        locks.acquire("t2", "a", exclusive=True)
+        locks.acquire("t2", "b", exclusive=True)
+
+    def test_release_one_shared_keeps_others(self, locks):
+        locks.acquire("t1", "k", exclusive=False)
+        locks.acquire("t2", "k", exclusive=False)
+        locks.release_all("t1")
+        assert locks.holders("k") == {"t2"}
+        with pytest.raises(LockConflict):
+            locks.acquire("t3", "k", exclusive=True)
+
+    def test_release_unknown_txn_is_noop(self, locks):
+        locks.release_all("ghost")
+
+    def test_remaining_shared_lock_not_exclusive(self, locks):
+        locks.acquire("t1", "k", exclusive=False)
+        locks.acquire("t2", "k", exclusive=False)
+        locks.release_all("t1")
+        locks.acquire("t3", "k", exclusive=False)  # still shared
+
+    def test_held_by(self, locks):
+        locks.acquire("t1", "a", exclusive=True)
+        locks.acquire("t1", "b", exclusive=False)
+        assert locks.held_by("t1") == {"a", "b"}
+        locks.release_all("t1")
+        assert locks.held_by("t1") == set()
+
+
+class TestNoWaitSemantics:
+    def test_conflict_counter(self, locks):
+        locks.acquire("t1", "k", exclusive=True)
+        for _ in range(3):
+            with pytest.raises(LockConflict):
+                locks.acquire("t2", "k", exclusive=True)
+        assert locks.conflicts == 3
+
+    def test_conflict_carries_holders(self, locks):
+        locks.acquire("t1", "k", exclusive=True)
+        with pytest.raises(LockConflict) as excinfo:
+            locks.acquire("t2", "k", exclusive=False)
+        assert excinfo.value.holders == {"t1"}
+        assert excinfo.value.key == "k"
+
+    def test_failed_acquire_grants_nothing(self, locks):
+        locks.acquire("t1", "k", exclusive=True)
+        with pytest.raises(LockConflict):
+            locks.acquire("t2", "k", exclusive=True)
+        locks.release_all("t2")
+        assert locks.holders("k") == {"t1"}
+
+    def test_clear_drops_everything(self, locks):
+        locks.acquire("t1", "a", exclusive=True)
+        locks.clear()
+        locks.acquire("t2", "a", exclusive=True)
+
+    def test_tuple_keys(self, locks):
+        """GTable entries lock ('gtable', gid) — distinct from record locks."""
+        locks.acquire("t1", ("gtable", 5), exclusive=False)
+        locks.acquire("t2", ("usertable", 5), exclusive=True)
+        with pytest.raises(LockConflict):
+            locks.acquire("t3", ("gtable", 5), exclusive=True)

@@ -1,0 +1,78 @@
+"""Unit tests for transaction contexts and abort taxonomy."""
+
+import pytest
+
+from repro.engine.txn import (
+    AbortReason,
+    TxnAborted,
+    TxnContext,
+    TxnStatus,
+    WrongNodeError,
+)
+from repro.storage.log import Delete, Put
+
+
+class TestTxnContext:
+    def test_fresh_context(self):
+        ctx = TxnContext(node_id=3)
+        assert ctx.status is TxnStatus.ACTIVE
+        assert ctx.node_id == 3
+        assert not ctx.is_reconfig
+        assert ctx.participant_logs == []
+
+    def test_unique_ids(self):
+        ids = {TxnContext(1).txn_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_writes_grouped_by_log(self):
+        ctx = TxnContext(1)
+        ctx.write("glog-1", "usertable", 5, "v")
+        ctx.write("glog-2", "gtable", 9, 2)
+        ctx.delete("glog-1", "usertable", 6)
+        assert ctx.participant_logs == ["glog-1", "glog-2"]
+        assert ctx.entries_for("glog-1") == (
+            Put("usertable", 5, "v"),
+            Delete("usertable", 6),
+        )
+        assert ctx.entries_for("glog-2") == (Put("gtable", 9, 2),)
+
+    def test_entries_for_unknown_log_empty(self):
+        assert TxnContext(1).entries_for("nope") == ()
+
+    def test_mark_committed(self):
+        ctx = TxnContext(1)
+        ctx.mark_committed()
+        assert ctx.status is TxnStatus.COMMITTED
+
+    def test_mark_aborted_records_reason(self):
+        ctx = TxnContext(1)
+        ctx.mark_aborted(AbortReason.LOCK_CONFLICT)
+        assert ctx.status is TxnStatus.ABORTED
+        assert ctx.abort_reason is AbortReason.LOCK_CONFLICT
+
+    def test_reconfig_flag_and_name(self):
+        ctx = TxnContext(1, is_reconfig=True, name="MigrationTxn")
+        assert ctx.is_reconfig
+        assert ctx.name == "MigrationTxn"
+
+
+class TestAbortExceptions:
+    def test_txn_aborted_carries_reason(self):
+        exc = TxnAborted(AbortReason.CAS_CONFLICT, "glog-1 moved")
+        assert exc.reason is AbortReason.CAS_CONFLICT
+        assert "glog-1 moved" in str(exc)
+
+    def test_wrong_node_error_is_txn_aborted(self):
+        exc = WrongNodeError(granule=7, owner=2)
+        assert isinstance(exc, TxnAborted)
+        assert exc.reason is AbortReason.WRONG_NODE
+        assert exc.granule == 7
+        assert exc.owner == 2
+
+    def test_wrong_node_unknown_owner(self):
+        exc = WrongNodeError(granule=7, owner=None)
+        assert exc.owner is None
+
+    def test_abort_reasons_distinct(self):
+        values = {r.value for r in AbortReason}
+        assert len(values) == len(list(AbortReason))

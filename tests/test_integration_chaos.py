@@ -1,0 +1,184 @@
+"""Integration chaos tests: load + concurrent reconfigurations + failures.
+
+These exercise the whole stack at once and assert the paper's invariants at
+quiescence — the closest thing to the TLA+ model running on the real
+implementation instead of the abstract state machine.
+"""
+
+import pytest
+
+from repro.core.invariants import check_invariants, check_view_consistency
+from repro.engine.node import GTABLE
+from repro.storage.log import RecordKind
+from tests.conftest import make_cluster, run_gen
+from tests.test_workload_client import start_clients
+
+
+def quiesce_and_check(cluster):
+    cluster.settle(0.5)
+    live = [cluster.nodes[n] for n in cluster.live_node_ids()]
+    check_view_consistency(live, cluster.gmap.num_granules)
+    check_invariants(
+        cluster.ground_truth_gtable(),
+        cluster.gmap.num_granules,
+        cluster.ground_truth_mtable(),
+    )
+
+
+class TestConcurrentReconfigUnderLoad:
+    def test_scale_out_during_load(self):
+        cluster = make_cluster("marlin", num_nodes=2, num_keys=8192, seed=21)
+        cluster.run(until=0.05)
+        _router, clients = start_clients(cluster, count=6)
+        cluster.run(until=1.0)
+        run_gen(cluster, cluster.scale_out(2))
+        cluster.run(until=cluster.sim.now + 1.0)
+        for c in clients:
+            c.stop()
+        quiesce_and_check(cluster)
+        assert cluster.metrics.total_committed > 100
+
+    def test_interleaved_out_and_in_cycles(self):
+        cluster = make_cluster("marlin", num_nodes=2, num_keys=4096, seed=22)
+        cluster.run(until=0.05)
+        _router, clients = start_clients(cluster, count=4)
+        for _cycle in range(2):
+            run_gen(cluster, cluster.scale_out(2))
+            cluster.run(until=cluster.sim.now + 0.5)
+            victims = cluster.live_node_ids()[-2:]
+            run_gen(cluster, cluster.scale_in(victims))
+            cluster.run(until=cluster.sim.now + 0.5)
+        for c in clients:
+            c.stop()
+        quiesce_and_check(cluster)
+        assert cluster.live_node_ids() == [0, 1]
+
+    def test_opposed_migration_storms(self):
+        """Two nodes migrate granules at each other concurrently."""
+        cluster = make_cluster("marlin", num_nodes=2, num_keys=4096, seed=23)
+        cluster.run(until=0.05)
+        g0 = cluster.nodes[0].owned_granules()[:8]
+        g1 = cluster.nodes[1].owned_granules()[:8]
+        f0 = cluster.admin.call(
+            "node-1", "run_migrations", tuple((g, 0) for g in g0)
+        )
+        f1 = cluster.admin.call(
+            "node-0", "run_migrations", tuple((g, 1) for g in g1)
+        )
+        cluster.run(until=10.0)
+        assert f0.done and f1.done
+        quiesce_and_check(cluster)
+
+    def test_failover_during_scale_out(self):
+        cluster = make_cluster(
+            "marlin", num_nodes=3, num_keys=6144, seed=24,
+            failure_detection=True,
+        )
+        cluster.run(until=0.5)
+        proc = cluster.sim.spawn(cluster.scale_out(1), daemon=True)
+        cluster.run(until=1.0)
+        cluster.fail_node(1)
+        cluster.sim.run_until(proc.result, limit=60.0)
+        cluster.run(until=15.0)
+        assert cluster.metrics.failovers
+        quiesce_and_check(cluster)
+        assert 1 not in cluster.ground_truth_mtable()
+
+
+class TestCrashWindows:
+    def test_source_freeze_mid_migration_storm(self):
+        """Source dies while a batch of migrations is in flight."""
+        cluster = make_cluster(
+            "marlin", num_nodes=2, num_keys=4096, seed=25,
+            failure_detection=True,
+        )
+        cluster.run(until=0.5)
+        granules = cluster.nodes[1].owned_granules()
+        fut = cluster.admin.call(
+            "node-0", "run_migrations", tuple((g, 1) for g in granules)
+        )
+        cluster.call_later = cluster.sim.call_after(0.05, cluster.fail_node, 1)
+        cluster.run(until=20.0)
+        quiesce_and_check(cluster)
+        # All granules ended up on the survivor one way or another.
+        assert set(cluster.nodes[0].owned_granules()) == set(
+            range(cluster.gmap.num_granules)
+        )
+
+    def test_repeated_freeze_resume_cycles(self):
+        cluster = make_cluster(
+            "marlin", num_nodes=3, num_keys=3072, seed=26,
+            failure_detection=True,
+        )
+        cluster.run(until=0.5)
+        _router, clients = start_clients(cluster, count=3, request_timeout=0.3)
+        cluster.fail_node(2)
+        cluster.run(until=8.0)   # failover completes
+        cluster.resume_node(2)
+        cluster.run(until=9.0)
+        # Re-join the revived node as a fresh member: it must first refresh
+        # the state it slept through (its GLog and the SysLog membership).
+        from repro.engine.node import SYSLOG
+
+        node = cluster.nodes[2]
+        run_gen(cluster, node.runtime.handle_cas_failure(node.glog))
+        run_gen(cluster, node.runtime.handle_cas_failure(SYSLOG))
+        ok = run_gen(cluster, node.runtime.add_node())
+        assert ok
+        cluster.run(until=10.0)
+        for c in clients:
+            c.stop()
+        cluster.settle(0.5)
+        assert 2 in cluster.ground_truth_mtable()
+        check_invariants(
+            cluster.ground_truth_gtable(),
+            cluster.gmap.num_granules,
+            cluster.ground_truth_mtable(),
+        )
+
+    def test_client_load_survives_everything(self):
+        cluster = make_cluster(
+            "marlin", num_nodes=4, num_keys=8192, seed=27,
+            failure_detection=True,
+        )
+        cluster.run(until=0.5)
+        _router, clients = start_clients(cluster, count=8, request_timeout=0.3)
+        cluster.run(until=1.0)
+        run_gen(cluster, cluster.scale_out(2))
+        cluster.run(until=3.0)
+        cluster.fail_node(1)
+        cluster.run(until=12.0)
+        committed_mid = cluster.metrics.total_committed
+        cluster.run(until=16.0)
+        for c in clients:
+            c.stop()
+        quiesce_and_check(cluster)
+        # Commits continued after the failover.
+        assert cluster.metrics.total_committed > committed_mid
+
+
+class TestBaselineParity:
+    @pytest.mark.parametrize("kind", ["zk-small", "fdb"])
+    def test_baseline_scale_cycle_under_load(self, kind):
+        cluster = make_cluster(kind, num_nodes=2, num_keys=4096, seed=28)
+        cluster.run(until=0.05)
+        _router, clients = start_clients(cluster, count=4)
+        run_gen(cluster, cluster.scale_out(2))
+        cluster.run(until=cluster.sim.now + 1.0)
+        run_gen(cluster, cluster.scale_in([2, 3]))
+        for c in clients:
+            c.stop()
+        cluster.settle(0.5)
+        live = [cluster.nodes[n] for n in cluster.live_node_ids()]
+        check_view_consistency(live, cluster.gmap.num_granules)
+        # The external service's map agrees with the nodes' views.
+        service_map = {
+            int(path.split("/")[-1]): owner
+            for path, owner in cluster.service.data.items()
+            if path.startswith("/granules/")
+        }
+        merged = {}
+        for node in live:
+            for g in node.owned_granules():
+                merged[g] = node.node_id
+        assert service_map == merged

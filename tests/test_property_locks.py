@@ -1,0 +1,181 @@
+"""Property-based tests for the lock table (hypothesis).
+
+Invariants checked over random acquire/release traces:
+
+* an exclusive lock never coexists with any other holder,
+* shared holders never observe an exclusive flag,
+* `held_by` and `holders` stay mutually consistent,
+* waiting-mode grants are FIFO and never overlap incompatibly.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.locks import LockConflict, LockTable
+from repro.sim.core import Simulator
+
+KEYS = ["a", "b", "c"]
+TXNS = [f"t{i}" for i in range(5)]
+
+
+def check_consistency(locks: LockTable):
+    for key in KEYS:
+        holders = locks.holders(key)
+        if locks.is_exclusive(key):
+            assert len(holders) == 1
+        for txn in holders:
+            assert key in locks.held_by(txn)
+    for txn in TXNS:
+        for key in locks.held_by(txn):
+            assert txn in locks.holders(key)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["acquire_s", "acquire_x", "release"]),
+            st.sampled_from(TXNS),
+            st.sampled_from(KEYS),
+        ),
+        max_size=40,
+    )
+)
+def test_no_wait_trace_invariants(ops):
+    locks = LockTable()
+    for op, txn, key in ops:
+        try:
+            if op == "acquire_s":
+                locks.acquire(txn, key, exclusive=False)
+            elif op == "acquire_x":
+                locks.acquire(txn, key, exclusive=True)
+            else:
+                locks.release_all(txn)
+        except LockConflict:
+            pass
+        check_consistency(locks)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_waiting_mode_grants_are_exclusive(seed):
+    """Random mix of NO_WAIT users and waiting reconfig requests."""
+    sim = Simulator(seed=seed)
+    locks = LockTable(sim)
+    rng = random.Random(seed)
+    granted_exclusive = {}
+
+    def reconfig(txn, key):
+        try:
+            yield locks.acquire_async(txn, key, True, timeout=5.0)
+        except LockConflict:
+            return
+        # While we hold X, nobody else may hold anything on key.
+        assert locks.holders(key) == {txn}
+        from repro.sim.core import Timeout
+
+        yield Timeout(rng.random() * 0.01)
+        assert locks.holders(key) == {txn}
+        locks.release_all(txn)
+
+    def user(txn, key):
+        from repro.sim.core import Timeout
+
+        try:
+            locks.acquire(txn, key, exclusive=False)
+        except LockConflict:
+            return
+        yield Timeout(rng.random() * 0.01)
+        assert not locks.is_exclusive(key)
+        locks.release_all(txn)
+
+    for i in range(20):
+        key = rng.choice(KEYS)
+        if rng.random() < 0.4:
+            sim.call_after(
+                rng.random() * 0.05,
+                lambda i=i, key=key: sim.spawn(
+                    reconfig(f"r{i}", key), daemon=True
+                ),
+            )
+        else:
+            sim.call_after(
+                rng.random() * 0.05,
+                lambda i=i, key=key: sim.spawn(user(f"u{i}", key), daemon=True),
+            )
+    sim.run()
+    for key in KEYS:
+        assert locks.holders(key) == set()
+
+
+def test_waiter_granted_after_release():
+    sim = Simulator()
+    locks = LockTable(sim)
+    locks.acquire("user", "k", exclusive=False)
+    fut = locks.acquire_async("migr", "k", True, timeout=5.0)
+    sim.run(until=0.1)
+    assert not fut.done
+    locks.release_all("user")
+    sim.run(until=0.2)
+    assert fut.done and fut.exception is None
+    assert locks.holders("k") == {"migr"}
+
+
+def test_waiters_block_new_no_wait_acquires():
+    """A queued X waiter fences later NO_WAIT readers (no writer starvation)."""
+    sim = Simulator()
+    locks = LockTable(sim)
+    locks.acquire("user1", "k", exclusive=False)
+    locks.acquire_async("migr", "k", True, timeout=5.0)
+    with pytest.raises(LockConflict):
+        locks.acquire("user2", "k", exclusive=False)
+
+
+def test_wait_timeout_fails_future():
+    sim = Simulator()
+    locks = LockTable(sim)
+    locks.acquire("user", "k", exclusive=True)
+    fut = locks.acquire_async("migr", "k", True, timeout=0.5)
+    sim.run(until=1.0)
+    assert isinstance(fut.exception, LockConflict)
+    # The expired waiter no longer blocks others.
+    locks.release_all("user")
+    locks.acquire("user2", "k", exclusive=True)
+
+
+def test_fifo_wakeup_order():
+    sim = Simulator()
+    locks = LockTable(sim)
+    locks.acquire("holder", "k", exclusive=True)
+    first = locks.acquire_async("m1", "k", True, timeout=10.0)
+    second = locks.acquire_async("m2", "k", True, timeout=10.0)
+    locks.release_all("holder")
+    sim.run(until=0.1)
+    assert first.done and not second.done
+    locks.release_all("m1")
+    sim.run(until=0.2)
+    assert second.done
+
+
+def test_shared_waiters_granted_together():
+    sim = Simulator()
+    locks = LockTable(sim)
+    locks.acquire("writer", "k", exclusive=True)
+    s1 = locks.acquire_async("r1", "k", False, timeout=10.0)
+    s2 = locks.acquire_async("r2", "k", False, timeout=10.0)
+    locks.release_all("writer")
+    sim.run(until=0.1)
+    assert s1.done and s2.done
+    assert locks.holders("k") == {"r1", "r2"}
+
+
+def test_clear_fails_pending_waiters():
+    sim = Simulator()
+    locks = LockTable(sim)
+    locks.acquire("holder", "k", exclusive=True)
+    fut = locks.acquire_async("migr", "k", True, timeout=10.0)
+    locks.clear()
+    sim.run(until=0.1)
+    assert isinstance(fut.exception, LockConflict)

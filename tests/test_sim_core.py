@@ -1,0 +1,363 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.core import (
+    ProcessCrashed,
+    ProcessKilled,
+    SimError,
+    Simulator,
+    Timeout,
+    all_of,
+    any_of,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+class TestScheduling:
+    def test_now_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_call_after_runs_at_correct_time(self, sim):
+        seen = []
+        sim.call_after(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_call_at_absolute_time(self, sim):
+        seen = []
+        sim.call_at(3.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.call_after(2.0, lambda: order.append("b"))
+        sim.call_after(1.0, lambda: order.append("a"))
+        sim.call_after(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_schedule_order(self, sim):
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.call_after(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_cannot_schedule_in_past(self, sim):
+        sim.call_after(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_cancelled_handle_does_not_fire(self, sim):
+        seen = []
+        handle = sim.call_after(1.0, lambda: seen.append(1))
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_run_until_time_stops_early(self, sim):
+        seen = []
+        sim.call_after(1.0, lambda: seen.append("early"))
+        sim.call_after(10.0, lambda: seen.append("late"))
+        sim.run(until=5.0)
+        assert seen == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+        sim.call_after(1.0, lambda: sim.call_after(1.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_events_executed_counter(self, sim):
+        for _ in range(5):
+            sim.call_after(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+
+class TestProcesses:
+    def test_process_returns_value(self, sim):
+        def proc():
+            yield Timeout(1.0)
+            return 99
+
+        p = sim.spawn(proc())
+        assert sim.run_until(p.result) == 99
+        assert sim.now == 1.0
+
+    def test_timeout_sequencing(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield Timeout(0.5)
+            trace.append(sim.now)
+            yield Timeout(0.25)
+            trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == [0.0, 0.5, 0.75]
+
+    def test_yield_none_resumes_same_time(self, sim):
+        trace = []
+
+        def proc():
+            yield None
+            trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == [0.0]
+
+    def test_wait_on_future(self, sim):
+        fut = sim.event()
+        got = []
+
+        def proc():
+            value = yield fut
+            got.append(value)
+
+        sim.spawn(proc())
+        sim.call_after(2.0, fut.resolve, "hello")
+        sim.run()
+        assert got == ["hello"]
+
+    def test_wait_on_already_done_future(self, sim):
+        fut = sim.event()
+        fut.resolve("ready")
+        got = []
+
+        def proc():
+            got.append((yield fut))
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == ["ready"]
+
+    def test_failed_future_raises_in_process(self, sim):
+        fut = sim.event()
+        caught = []
+
+        def proc():
+            try:
+                yield fut
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.spawn(proc())
+        sim.call_after(1.0, fut.fail, ValueError("boom"))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_wait_on_process(self, sim):
+        def inner():
+            yield Timeout(2.0)
+            return "inner-done"
+
+        got = []
+
+        def outer():
+            value = yield sim.spawn(inner())
+            got.append((value, sim.now))
+
+        sim.spawn(outer())
+        sim.run()
+        assert got == [("inner-done", 2.0)]
+
+    def test_yield_from_composition(self, sim):
+        def sub(x):
+            yield Timeout(1.0)
+            return x * 2
+
+        result = []
+
+        def main():
+            a = yield from sub(3)
+            b = yield from sub(a)
+            result.append(b)
+
+        sim.spawn(main())
+        sim.run()
+        assert result == [12]
+        assert sim.now == 2.0
+
+    def test_unhandled_exception_crashes_run(self, sim):
+        def bad():
+            yield Timeout(1.0)
+            raise RuntimeError("kaboom")
+
+        sim.spawn(bad())
+        with pytest.raises(ProcessCrashed) as excinfo:
+            sim.run()
+        assert isinstance(excinfo.value.exc, RuntimeError)
+
+    def test_daemon_exception_does_not_crash_run(self, sim):
+        def bad():
+            yield Timeout(1.0)
+            raise RuntimeError("quiet")
+
+        p = sim.spawn(bad(), daemon=True)
+        sim.run()
+        assert isinstance(p.result.exception, RuntimeError)
+
+    def test_kill_process(self, sim):
+        cleaned = []
+
+        def proc():
+            try:
+                yield Timeout(100.0)
+            except ProcessKilled:
+                cleaned.append(sim.now)
+                raise
+
+        p = sim.spawn(proc())
+        sim.call_after(1.0, p.kill)
+        sim.run()
+        assert cleaned == [1.0]
+        assert isinstance(p.result.exception, ProcessKilled)
+
+    def test_kill_finished_process_is_noop(self, sim):
+        def proc():
+            yield Timeout(1.0)
+            return 1
+
+        p = sim.spawn(proc())
+        sim.run()
+        p.kill()
+        sim.run()
+        assert p.result.result() == 1
+
+    def test_spawn_requires_generator(self, sim):
+        with pytest.raises(SimError):
+            sim.spawn(lambda: None)
+
+    def test_yield_bad_value_crashes(self, sim):
+        def proc():
+            yield 42
+
+        sim.spawn(proc())
+        with pytest.raises(ProcessCrashed):
+            sim.run()
+
+    def test_two_processes_interleave(self, sim):
+        trace = []
+
+        def proc(name, step):
+            for _ in range(3):
+                yield Timeout(step)
+                trace.append((name, sim.now))
+
+        sim.spawn(proc("a", 1.0))
+        sim.spawn(proc("b", 1.5))
+        sim.run()
+        # At t=3.0 both resume; b scheduled its resumption first (at t=1.5),
+        # so FIFO tie-breaking runs b before a.
+        assert trace == [
+            ("a", 1.0),
+            ("b", 1.5),
+            ("a", 2.0),
+            ("b", 3.0),
+            ("a", 3.0),
+            ("b", 4.5),
+        ]
+
+
+class TestFutures:
+    def test_double_resolve_raises(self, sim):
+        fut = sim.event()
+        fut.resolve(1)
+        with pytest.raises(SimError):
+            fut.resolve(2)
+
+    def test_result_before_done_raises(self, sim):
+        fut = sim.event()
+        with pytest.raises(SimError):
+            fut.result()
+
+    def test_result_reraises_failure(self, sim):
+        fut = sim.event()
+        fut.fail(KeyError("missing"))
+        with pytest.raises(KeyError):
+            fut.result()
+
+    def test_callbacks_run_through_heap(self, sim):
+        order = []
+        fut = sim.event()
+        fut.add_done_callback(lambda f: order.append("cb"))
+        fut.resolve()
+        order.append("inline")
+        sim.run()
+        assert order == ["inline", "cb"]
+
+    def test_run_until_failed_future_raises(self, sim):
+        fut = sim.event()
+        sim.call_after(1.0, fut.fail, ValueError("x"))
+        with pytest.raises(ValueError):
+            sim.run_until(fut)
+
+    def test_run_until_drained_heap_raises(self, sim):
+        fut = sim.event()
+        with pytest.raises(SimError):
+            sim.run_until(fut)
+
+
+class TestCombinators:
+    def test_all_of_collects_values(self, sim):
+        futs = [sim.event() for _ in range(3)]
+        for i, f in enumerate(futs):
+            sim.call_after(float(3 - i), f.resolve, i * 10)
+        gathered = all_of(sim, futs)
+        assert sim.run_until(gathered) == [0, 10, 20]
+
+    def test_all_of_empty(self, sim):
+        gathered = all_of(sim, [])
+        assert sim.run_until(gathered) == []
+
+    def test_all_of_fails_fast(self, sim):
+        futs = [sim.event() for _ in range(2)]
+        sim.call_after(1.0, futs[1].fail, RuntimeError("first"))
+        sim.call_after(2.0, futs[0].resolve, "late")
+        gathered = all_of(sim, futs)
+        with pytest.raises(RuntimeError):
+            sim.run_until(gathered)
+
+    def test_any_of_returns_first(self, sim):
+        futs = [sim.event() for _ in range(3)]
+        sim.call_after(2.0, futs[0].resolve, "slow")
+        sim.call_after(1.0, futs[2].resolve, "fast")
+        index, value = sim.run_until(any_of(sim, futs))
+        assert (index, value) == (2, "fast")
+
+    def test_any_of_requires_futures(self, sim):
+        with pytest.raises(SimError):
+            any_of(sim, [])
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            trace = []
+
+            def proc():
+                for _ in range(20):
+                    yield Timeout(sim.rng.random())
+                    trace.append(round(sim.now, 9))
+
+            sim.spawn(proc())
+            sim.run()
+            return trace
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

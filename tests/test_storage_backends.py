@@ -1,0 +1,135 @@
+"""Tests for the Azure / S3 / GCS conditional-write dialect emulations (§5)."""
+
+import pytest
+
+from repro.storage.backends import (
+    HTTP_CREATED,
+    HTTP_PRECONDITION_FAILED,
+    AzureAppendBlob,
+    GcsGenerationLog,
+    S3ExpressLog,
+)
+from repro.storage.log import RecordKind, SharedLog
+
+
+@pytest.fixture(params=["azure", "s3", "gcs"])
+def backend(request):
+    log = SharedLog("wal")
+    cls = {
+        "azure": AzureAppendBlob,
+        "s3": S3ExpressLog,
+        "gcs": GcsGenerationLog,
+    }[request.param]
+    return cls(log)
+
+
+class TestDialectEquivalence:
+    """All three dialects implement the same Append@LSN contract."""
+
+    def test_append_at_current_lsn_succeeds(self, backend):
+        result = backend.conditional_append("t1", RecordKind.COMMIT_DATA, (), 0)
+        assert result.ok and result.lsn == 1
+
+    def test_append_at_stale_lsn_fails(self, backend):
+        backend.conditional_append("t1", RecordKind.COMMIT_DATA, (), 0)
+        result = backend.conditional_append("t2", RecordKind.COMMIT_DATA, (), 0)
+        assert not result.ok
+        assert result.lsn == 1
+        assert backend.log.end_lsn == 1
+
+    def test_retry_with_returned_lsn_succeeds(self, backend):
+        backend.conditional_append("t1", RecordKind.COMMIT_DATA, (), 0)
+        failed = backend.conditional_append("t2", RecordKind.COMMIT_DATA, (), 0)
+        retried = backend.conditional_append(
+            "t2", RecordKind.COMMIT_DATA, (), failed.lsn
+        )
+        assert retried.ok and retried.lsn == 2
+
+    def test_interleaved_writers_serialize(self, backend):
+        r1 = backend.conditional_append("a", RecordKind.COMMIT_DATA, (), 0)
+        r2 = backend.conditional_append("b", RecordKind.COMMIT_DATA, (), 0)
+        assert r1.ok != r2.ok or backend.log.end_lsn == 2
+
+
+class TestAzureDialect:
+    def test_if_match_etag(self):
+        blob = AzureAppendBlob(SharedLog("wal"))
+        etag = blob.etag
+        status, new_etag = blob.append_block(
+            "t1", RecordKind.COMMIT_DATA, if_match=etag
+        )
+        assert status == HTTP_CREATED
+        assert new_etag != etag
+
+    def test_if_match_stale_etag_412(self):
+        blob = AzureAppendBlob(SharedLog("wal"))
+        old = blob.etag
+        blob.append_block("t1", RecordKind.COMMIT_DATA)
+        status, current = blob.append_block(
+            "t2", RecordKind.COMMIT_DATA, if_match=old
+        )
+        assert status == HTTP_PRECONDITION_FAILED
+        assert current == blob.etag
+
+    def test_appendpos_condition(self):
+        blob = AzureAppendBlob(SharedLog("wal"))
+        status, _ = blob.append_block(
+            "t1", RecordKind.COMMIT_DATA, if_appendpos_equal=0
+        )
+        assert status == HTTP_CREATED
+        status, _ = blob.append_block(
+            "t2", RecordKind.COMMIT_DATA, if_appendpos_equal=0
+        )
+        assert status == HTTP_PRECONDITION_FAILED
+
+    def test_unconditional_append_always_succeeds(self):
+        blob = AzureAppendBlob(SharedLog("wal"))
+        for i in range(3):
+            status, _ = blob.append_block(f"t{i}", RecordKind.COMMIT_DATA)
+            assert status == HTTP_CREATED
+
+
+class TestS3Dialect:
+    def test_write_offset_semantics(self):
+        s3 = S3ExpressLog(SharedLog("wal"))
+        status, _ = s3.put("t1", RecordKind.COMMIT_DATA, write_offset_bytes=0)
+        assert status == HTTP_CREATED
+        status, _ = s3.put("t2", RecordKind.COMMIT_DATA, write_offset_bytes=0)
+        assert status == HTTP_PRECONDITION_FAILED
+
+    def test_if_match(self):
+        s3 = S3ExpressLog(SharedLog("wal"))
+        etag = s3.etag
+        assert s3.put("t1", RecordKind.COMMIT_DATA, if_match=etag)[0] == HTTP_CREATED
+        assert (
+            s3.put("t2", RecordKind.COMMIT_DATA, if_match=etag)[0]
+            == HTTP_PRECONDITION_FAILED
+        )
+
+
+class TestGcsDialect:
+    def test_generation_match(self):
+        gcs = GcsGenerationLog(SharedLog("wal"))
+        gcs.upload_temp("tmp1", "t1", RecordKind.COMMIT_DATA, ())
+        status, gen = gcs.compose("tmp1", if_generation_match=0)
+        assert status == HTTP_CREATED and gen == 1
+
+    def test_generation_mismatch(self):
+        gcs = GcsGenerationLog(SharedLog("wal"))
+        gcs.upload_temp("tmp1", "t1", RecordKind.COMMIT_DATA, ())
+        gcs.compose("tmp1", if_generation_match=0)
+        gcs.upload_temp("tmp2", "t2", RecordKind.COMMIT_DATA, ())
+        status, gen = gcs.compose("tmp2", if_generation_match=0)
+        assert status == HTTP_PRECONDITION_FAILED and gen == 1
+
+    def test_compose_unknown_temp_raises(self):
+        gcs = GcsGenerationLog(SharedLog("wal"))
+        with pytest.raises(KeyError):
+            gcs.compose("missing")
+
+    def test_staged_object_consumed_on_success(self):
+        gcs = GcsGenerationLog(SharedLog("wal"))
+        gcs.upload_temp("tmp1", "t1", RecordKind.COMMIT_DATA, ())
+        gcs.compose("tmp1", if_generation_match=0)
+        with pytest.raises(KeyError):
+            gcs.compose("tmp1", if_generation_match=1)

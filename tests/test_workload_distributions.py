@@ -1,0 +1,96 @@
+"""Tests for key-selection distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.distributions import HotSpot, Uniform, Zipfian
+
+
+class TestUniform:
+    def test_bounds(self):
+        dist = Uniform(100)
+        rng = random.Random(0)
+        samples = [dist.sample(rng) for _ in range(2000)]
+        assert min(samples) >= 0 and max(samples) < 100
+
+    def test_roughly_flat(self):
+        dist = Uniform(10)
+        rng = random.Random(1)
+        counts = Counter(dist.sample(rng) for _ in range(10000))
+        assert all(800 < counts[i] < 1200 for i in range(10))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Uniform(0)
+
+
+class TestZipfian:
+    def test_bounds(self):
+        dist = Zipfian(1000, theta=0.99)
+        rng = random.Random(0)
+        for _ in range(5000):
+            assert 0 <= dist.sample(rng) < 1000
+
+    def test_skew_prefers_low_keys(self):
+        dist = Zipfian(1000, theta=0.99)
+        rng = random.Random(2)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        counts = Counter(samples)
+        top10 = sum(counts[i] for i in range(10))
+        assert top10 > len(samples) * 0.3  # heavy head
+
+    def test_higher_theta_more_skew(self):
+        rng1, rng2 = random.Random(3), random.Random(3)
+        mild = Zipfian(1000, theta=0.5)
+        harsh = Zipfian(1000, theta=0.95)
+        mild_head = sum(1 for _ in range(5000) if mild.sample(rng1) == 0)
+        harsh_head = sum(1 for _ in range(5000) if harsh.sample(rng2) == 0)
+        assert harsh_head > mild_head
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Zipfian(0)
+        with pytest.raises(ValueError):
+            Zipfian(10, theta=1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=10_000),
+        theta=st.floats(min_value=0.01, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_always_in_range(self, n, theta, seed):
+        dist = Zipfian(n, theta=theta)
+        rng = random.Random(seed)
+        for _ in range(50):
+            assert 0 <= dist.sample(rng) < n
+
+
+class TestHotSpot:
+    def test_hot_fraction_respected(self):
+        dist = HotSpot(1000, hot_set=0.1, hot_fraction=0.9)
+        rng = random.Random(4)
+        samples = [dist.sample(rng) for _ in range(10000)]
+        hot = sum(1 for s in samples if s < 100)
+        assert 0.85 < hot / len(samples) < 0.95
+
+    def test_cold_keys_possible(self):
+        dist = HotSpot(100, hot_set=0.5, hot_fraction=0.5)
+        rng = random.Random(5)
+        samples = {dist.sample(rng) for _ in range(5000)}
+        assert any(s >= 50 for s in samples)
+
+    def test_full_hot_set(self):
+        dist = HotSpot(10, hot_set=1.0, hot_fraction=0.5)
+        rng = random.Random(6)
+        for _ in range(100):
+            assert 0 <= dist.sample(rng) < 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HotSpot(0)
+        with pytest.raises(ValueError):
+            HotSpot(10, hot_set=0.0)

@@ -1,0 +1,82 @@
+"""Tests for the YCSB workload generator."""
+
+import random
+
+import pytest
+
+from repro.engine.granule import GranuleMap
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+
+
+@pytest.fixture
+def gmap():
+    return GranuleMap(num_keys=4096, keys_per_granule=64)
+
+
+class TestGeneration:
+    def test_txn_shape(self, gmap):
+        wl = YcsbWorkload(gmap)
+        spec = wl.next_txn(random.Random(0))
+        assert len(spec.ops) == 16
+        assert all(op.table == "usertable" for op in spec.ops)
+
+    def test_single_site(self, gmap):
+        """All 16 requests fall in the home granule (§6.1.3)."""
+        wl = YcsbWorkload(gmap)
+        rng = random.Random(1)
+        for _ in range(100):
+            spec = wl.next_txn(rng)
+            granules = {gmap.granule_of(op.key) for op in spec.ops}
+            assert len(granules) == 1
+
+    def test_read_write_mix(self, gmap):
+        wl = YcsbWorkload(gmap)
+        rng = random.Random(2)
+        writes = reads = 0
+        for _ in range(500):
+            for op in wl.next_txn(rng).ops:
+                if op.write:
+                    writes += 1
+                else:
+                    reads += 1
+        ratio = writes / (writes + reads)
+        assert 0.45 < ratio < 0.55  # 50/50 per the paper
+
+    def test_custom_request_count(self, gmap):
+        wl = YcsbWorkload(gmap, YcsbConfig(requests_per_txn=4))
+        assert len(wl.next_txn(random.Random(0)).ops) == 4
+
+    def test_home_key_is_first_op(self, gmap):
+        wl = YcsbWorkload(gmap)
+        spec = wl.next_txn(random.Random(3))
+        assert spec.home_key == spec.ops[0].key
+
+    def test_key_range_restriction(self, gmap):
+        wl = YcsbWorkload(gmap, key_lo=1024, key_hi=2048)
+        rng = random.Random(4)
+        for _ in range(200):
+            home = wl.next_txn(rng).home_key
+            assert 1024 <= home < 2048
+
+    def test_bad_key_range(self, gmap):
+        with pytest.raises(ValueError):
+            YcsbWorkload(gmap, key_lo=100, key_hi=50)
+
+    def test_zipfian_distribution(self, gmap):
+        wl = YcsbWorkload(gmap, YcsbConfig(distribution="zipfian"))
+        rng = random.Random(5)
+        homes = [wl.next_txn(rng).home_key for _ in range(2000)]
+        low = sum(1 for h in homes if h < 409)  # hottest 10% of keys
+        assert low > len(homes) * 0.3
+
+    def test_unknown_distribution(self, gmap):
+        with pytest.raises(ValueError):
+            YcsbWorkload(gmap, YcsbConfig(distribution="pareto"))
+
+    def test_uniform_spreads_over_granules(self, gmap):
+        wl = YcsbWorkload(gmap)
+        rng = random.Random(6)
+        granules = {
+            gmap.granule_of(wl.next_txn(rng).home_key) for _ in range(2000)
+        }
+        assert len(granules) > gmap.num_granules * 0.8
