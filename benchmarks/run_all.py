@@ -1,0 +1,98 @@
+"""Run the kernel micro-bench suite and emit a machine-readable JSON report.
+
+This is the perf trajectory anchor for the repo: each kernel-touching PR runs
+
+    python benchmarks/run_all.py --quick          # tier-2 smoke, < 60 s
+    python benchmarks/run_all.py --out BENCH_PRn.json --baseline BENCH_PRm.json
+
+and commits the JSON so events/sec regressions are visible in review.  With
+``--baseline`` the previous report (or a raw ``{bench: {...}}`` results dump)
+is embedded and per-bench speedups are computed on the throughput metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+if __package__ in (None, ""):  # running as a script: make repro importable
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.bench_kernel import ALL_BENCHES, run_bench  # noqa: E402
+
+#: The headline throughput metric per bench (used for speedup computation).
+RATE_METRIC = {
+    "raw_events": "events_per_sec",
+    "timer_events": "events_per_sec",
+    "process_churn": "events_per_sec",
+    "futures_fanin": "events_per_sec",
+    "rpc_roundtrip": "events_per_sec",
+    "metrics_record": "ops_per_sec",
+}
+
+
+def _load_baseline(path: pathlib.Path) -> dict:
+    data = json.loads(path.read_text())
+    # Accept either a full report ({"results": {...}}) or a bare results dump.
+    return data.get("results", data)
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small bench sizes; finishes in a few seconds")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="write the JSON report here (default: stdout only)")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="previous report to embed and compute speedups against")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline is not None:  # validate before spending bench time
+        if not args.baseline.is_file():
+            parser.error(f"baseline not found: {args.baseline}")
+        try:
+            baseline = _load_baseline(args.baseline)
+        except json.JSONDecodeError as exc:
+            parser.error(f"baseline {args.baseline} is not valid JSON: {exc}")
+
+    results = {}
+    for name in ALL_BENCHES:
+        results[name] = run_bench(name, quick=args.quick)
+        rate = results[name][RATE_METRIC[name]]
+        print(f"{name:16s} {RATE_METRIC[name]}={rate:,.0f}", flush=True)
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "quick": args.quick,
+        },
+        "results": results,
+    }
+    if baseline is not None:
+        report["baseline"] = baseline
+        speedup = {}
+        for name, metric in RATE_METRIC.items():
+            before = baseline.get(name, {}).get(metric)
+            if before:
+                speedup[name] = round(results[name][metric] / before, 3)
+        report["speedup"] = speedup
+        print("speedups vs baseline:",
+              ", ".join(f"{k}={v}x" for k, v in speedup.items()))
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

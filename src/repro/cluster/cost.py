@@ -71,7 +71,9 @@ class CostModel:
 
     def realtime_cost_series(self, metrics, until: float, bucket: float = 1.0):
         """Dollars per second over time (Figure 14b's realtime cost)."""
-        events = sorted(metrics.node_count_events) or [(0.0, 0)]
+        # Appended in time order (MetricsCollector.record_node_count enforces
+        # monotonicity), so no sort is needed.
+        events = metrics.node_count_events or [(0.0, 0)]
         series = []
         t = 0.0
         index = 0

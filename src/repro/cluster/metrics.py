@@ -4,10 +4,18 @@ Implements the paper's methodology (§6.1.4): throughput and latency are
 reported for committed transactions; abort ratio is aborts over attempts per
 time bucket; migration progress is tracked so "migration duration" (first to
 last MigrationTxn commit) can be reported per run.
+
+Hot-path design: the ``record_*`` hooks run once per simulated transaction,
+so they are O(1) with no numpy and no per-sample Python object retention —
+latency samples stream into packed ``array.array`` buffers (value + bucket
+index) and bucket counters are plain int dicts.  The derived ``*_series``
+/ ``*_stats`` views do the numpy work once and memoise the result until the
+next record invalidates it.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
@@ -25,16 +33,23 @@ class MetricsCollector:
         self.aborted: Dict[int, int] = defaultdict(int)
         self.abort_reasons: Dict[str, int] = defaultdict(int)
         self.migrations: Dict[int, int] = defaultdict(int)
-        self.latencies: Dict[int, List[float]] = defaultdict(list)
-        self.migration_latencies: List[float] = []
+        #: Streaming latency store: packed doubles plus parallel bucket ids.
+        self._lat_values = array("d")
+        self._lat_buckets = array("q")
+        self._max_lat_bucket = -1
+        self.migration_latencies = array("d")
         self.failovers: List[Tuple[float, int, int]] = []
-        #: (time, node_count) step function for realtime cost integration.
+        #: (time, node_count) step function for realtime cost integration;
+        #: appended in nondecreasing time order (enforced by record_node_count).
         self.node_count_events: List[Tuple[float, int]] = []
         self.first_migration: Optional[float] = None
         self.last_migration: Optional[float] = None
         self.total_committed = 0
         self.total_aborted = 0
         self.total_migrations = 0
+        self._version = 0
+        self._cache_version = 0
+        self._cache: Dict[tuple, object] = {}
 
     def _bucket(self, t: float) -> int:
         return int(t // self.bucket)
@@ -42,14 +57,20 @@ class MetricsCollector:
     # -- recording hooks ---------------------------------------------------------
 
     def record_commit(self, t: float, latency: float) -> None:
-        self.committed[self._bucket(t)] += 1
-        self.latencies[self._bucket(t)].append(latency)
+        b = int(t // self.bucket)
+        self.committed[b] += 1
+        self._lat_values.append(latency)
+        self._lat_buckets.append(b)
+        if b > self._max_lat_bucket:
+            self._max_lat_bucket = b
         self.total_committed += 1
+        self._version += 1
 
     def record_abort(self, t: float, reason: str = "unknown") -> None:
-        self.aborted[self._bucket(t)] += 1
+        self.aborted[int(t // self.bucket)] += 1
         self.abort_reasons[reason] += 1
         self.total_aborted += 1
+        self._version += 1
 
     def record_migration(self, t: float, latency: Optional[float] = None) -> None:
         self.migrations[self._bucket(t)] += 1
@@ -60,14 +81,47 @@ class MetricsCollector:
             self.last_migration = t
         if latency is not None:
             self.migration_latencies.append(latency)
+        self._version += 1
 
     def record_failover(self, t: float, dead_id: int, granules: int) -> None:
         self.failovers.append((t, dead_id, granules))
 
     def record_node_count(self, t: float, count: int) -> None:
-        self.node_count_events.append((t, count))
+        events = self.node_count_events
+        if events and t < events[-1][0]:
+            raise ValueError(
+                f"node-count event at t={t} arrived after t={events[-1][0]}; "
+                "record_node_count requires nondecreasing times"
+            )
+        events.append((t, count))
+
+    # -- back-compat view --------------------------------------------------------
+
+    @property
+    def latencies(self) -> Dict[int, List[float]]:
+        """Per-bucket latency samples, materialised from the streaming store.
+
+        Cold-path convenience only; the collector no longer keeps per-bucket
+        Python lists internally.
+        """
+        out: Dict[int, List[float]] = defaultdict(list)
+        for b, value in zip(self._lat_buckets, self._lat_values):
+            out[b].append(value)
+        return out
 
     # -- derived series ------------------------------------------------------------
+
+    def _cached(self, key: tuple, builder):
+        # The whole cache is dropped on the first lookup after any record,
+        # so stale entries (e.g. for superseded ``until`` values) never pile
+        # up across a long run.
+        if self._cache_version != self._version:
+            self._cache.clear()
+            self._cache_version = self._version
+        hit = self._cache.get(key)
+        if hit is None:
+            hit = self._cache[key] = builder()
+        return hit
 
     def _series(self, counters: Dict[int, int], until: float) -> List[Tuple[float, float]]:
         last = max(int(until // self.bucket), max(counters, default=0))
@@ -78,13 +132,22 @@ class MetricsCollector:
 
     def throughput_series(self, until: float) -> List[Tuple[float, float]]:
         """Committed transactions per second, per bucket."""
-        return self._series(self.committed, until)
+        return self._cached(
+            ("tput", until), lambda: self._series(self.committed, until)
+        )
 
     def migration_series(self, until: float) -> List[Tuple[float, float]]:
-        return self._series(self.migrations, until)
+        return self._cached(
+            ("migr", until), lambda: self._series(self.migrations, until)
+        )
 
     def abort_ratio_series(self, until: float) -> List[Tuple[float, float]]:
         """Aborts / attempts per bucket (the paper's Abort Ratio axis)."""
+        return self._cached(
+            ("abort", until), lambda: self._abort_ratio_series(until)
+        )
+
+    def _abort_ratio_series(self, until: float) -> List[Tuple[float, float]]:
         last = max(
             int(until // self.bucket),
             max(self.committed, default=0),
@@ -98,14 +161,33 @@ class MetricsCollector:
             out.append((b * self.bucket, aborts / total if total else 0.0))
         return out
 
+    def _bucketed_latencies(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Latency samples sorted by bucket id: (sorted buckets, values)."""
+
+        def build():
+            buckets = np.frombuffer(self._lat_buckets, dtype=np.int64)
+            values = np.frombuffer(self._lat_values, dtype=np.float64)
+            order = np.argsort(buckets, kind="stable")
+            return buckets[order], values[order]
+
+        return self._cached(("lat-grouped",), build)
+
     def latency_series(self, until: float, pct: float = 50.0) -> List[Tuple[float, float]]:
-        last = max(int(until // self.bucket), max(self.latencies, default=0))
+        return self._cached(
+            ("lat", until, pct), lambda: self._latency_series(until, pct)
+        )
+
+    def _latency_series(self, until: float, pct: float) -> List[Tuple[float, float]]:
+        last = max(int(until // self.bucket), self._max_lat_bucket)
+        if not self._lat_values:
+            return [(b * self.bucket, 0.0) for b in range(0, last + 1)]
+        buckets, values = self._bucketed_latencies()
+        starts = np.searchsorted(buckets, np.arange(0, last + 2))
         out = []
         for b in range(0, last + 1):
-            samples = self.latencies.get(b, [])
-            out.append(
-                (b * self.bucket, float(np.percentile(samples, pct)) if samples else 0.0)
-            )
+            lo, hi = starts[b], starts[b + 1]
+            point = float(np.percentile(values[lo:hi], pct)) if hi > lo else 0.0
+            out.append((b * self.bucket, point))
         return out
 
     # -- summary statistics ----------------------------------------------------------
@@ -120,7 +202,7 @@ class MetricsCollector:
     def migration_latency_stats(self) -> Dict[str, float]:
         if not self.migration_latencies:
             return {"mean": 0.0, "p50": 0.0, "p99": 0.0}
-        arr = np.asarray(self.migration_latencies)
+        arr = np.frombuffer(self.migration_latencies, dtype=np.float64)
         return {
             "mean": float(arr.mean()),
             "p50": float(np.percentile(arr, 50)),
@@ -128,10 +210,9 @@ class MetricsCollector:
         }
 
     def latency_stats(self) -> Dict[str, float]:
-        samples = [x for chunk in self.latencies.values() for x in chunk]
-        if not samples:
+        if not self._lat_values:
             return {"mean": 0.0, "p50": 0.0, "p99": 0.0}
-        arr = np.asarray(samples)
+        arr = np.frombuffer(self._lat_values, dtype=np.float64)
         return {
             "mean": float(arr.mean()),
             "p50": float(np.percentile(arr, 50)),
@@ -143,10 +224,14 @@ class MetricsCollector:
         return self.total_aborted / total if total else 0.0
 
     def node_seconds(self, until: float) -> float:
-        """Integral of the node-count step function over [0, until]."""
-        if not self.node_count_events:
+        """Integral of the node-count step function over [0, until].
+
+        ``node_count_events`` is append-only in time order (see
+        :meth:`record_node_count`), so no sort is needed here.
+        """
+        events = self.node_count_events
+        if not events:
             return 0.0
-        events = sorted(self.node_count_events)
         area = 0.0
         for (t0, n0), (t1, _n1) in zip(events, events[1:]):
             area += n0 * (min(t1, until) - min(t0, until))

@@ -120,7 +120,8 @@ class LockTable:
                         pass
                     self.conflicts += 1
                     fut.fail(LockConflict(key, lock.holders))
-            self.sim.call_after(timeout, expire)
+            # Handle-free timer; ``expire`` no-ops if the wait already ended.
+            self.sim.timer(timeout, expire)
         return fut
 
     def _grant(self, lock: _Lock, txn_id: str, key: object, exclusive: bool) -> None:

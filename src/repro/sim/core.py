@@ -1,7 +1,7 @@
 """Discrete-event simulation kernel.
 
-The kernel executes *processes* — plain Python generators — against a single
-event heap ordered by ``(time, sequence)``.  A process advances by yielding:
+The kernel executes *processes* — plain Python generators — against a
+two-tier scheduler.  A process advances by yielding:
 
 * :class:`Timeout` — resume after a simulated delay,
 * :class:`Future` — resume when the future resolves (or re-raise its failure),
@@ -9,16 +9,54 @@ event heap ordered by ``(time, sequence)``.  A process advances by yielding:
 * ``None`` — yield control and resume on the next event cycle.
 
 Sub-protocols compose with ``yield from``; the sub-generator's ``return`` value
-becomes the value of the ``yield from`` expression.  All resumptions pass
-through the heap, so a run is fully deterministic for a given seed and spawn
-order.
+becomes the value of the ``yield from`` expression.
+
+Two-tier scheduler design
+-------------------------
+
+The dominant event class in every workload is the *same-time* callback:
+``call_soon`` is used for every future resolution (``Future._flush``),
+process spawn, process kill, and bare ``yield None``.  Pushing those through
+a binary heap pays an O(log n) comparison chain per event for entries that
+by construction always sort at the front.  The scheduler therefore keeps two
+structures:
+
+* **ready queue** — a FIFO ``deque`` of ``(handle, fn, args)`` entries for
+  callbacks at the *current* simulated time.  ``call_soon`` (and any
+  ``call_at``/``call_after`` that lands at or before ``now``) appends here in
+  O(1); kernel-internal schedulings skip the :class:`Handle` allocation
+  entirely by appending ``(None, fn, args)``.
+* **timer heap** — a lazily-cancelled binary heap of
+  ``(when, seq, handle, fn, args)`` entries reserved for true future timers
+  (``when > now``).  Cancellation just flips the handle's flag; the entry is
+  discarded when popped.  ``Simulator.timer`` is the allocation-lean variant
+  for fire-and-forget timers (no handle at all) used by the network and
+  storage layers.
+
+Ordering guarantees (identical to the classic single-heap kernel):
+
+1. Events execute in nondecreasing time order; ties execute in scheduling
+   (sequence) order.
+2. Every timer-heap entry for time ``T`` was scheduled *before* the clock
+   reached ``T`` (anything scheduled at ``T`` for ``T`` goes to the ready
+   queue), so at time ``T`` the heap's remaining ``T``-entries all precede
+   every ready-queue entry in sequence order.  The pop rule — drain heap
+   entries with ``when == now`` before the ready queue, otherwise run the
+   ready queue before advancing the clock — therefore reproduces exactly the
+   global ``(time, seq)`` order of the old kernel, and a seeded run produces
+   a bit-identical event trace either way.
+3. The clock only advances when the ready queue is empty.
+
+All resumptions pass through the scheduler, so a run is fully deterministic
+for a given seed and spawn order.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import random
+from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -33,6 +71,9 @@ __all__ = [
     "all_of",
     "any_of",
 ]
+
+#: Scheduling in the past is tolerated up to this much floating-point slop.
+_PAST_SLOP = 1e-12
 
 
 class SimError(Exception):
@@ -67,7 +108,7 @@ class Timeout:
 
 
 class Handle:
-    """Cancellation handle for a scheduled callback."""
+    """Cancellation handle for a scheduled callback (lazily honoured)."""
 
     __slots__ = ("cancelled",)
 
@@ -81,8 +122,9 @@ class Handle:
 class Future:
     """A one-shot container for a value (or failure) produced later.
 
-    Completion callbacks are never run inline: they are scheduled on the event
-    heap, which keeps resumption order deterministic and stack depth bounded.
+    Completion callbacks are never run inline: they are pushed onto the
+    simulator's ready queue, which keeps resumption order deterministic and
+    stack depth bounded.
     """
 
     __slots__ = ("_sim", "_done", "_value", "_exc", "_callbacks", "name")
@@ -116,25 +158,28 @@ class Future:
             raise SimError(f"future {self.name!r} resolved twice")
         self._done = True
         self._value = value
-        self._flush()
+        if self._callbacks:
+            self._flush()
 
     def fail(self, exc: BaseException) -> None:
         if self._done:
             raise SimError(f"future {self.name!r} resolved twice")
         self._done = True
         self._exc = exc
-        self._flush()
+        if self._callbacks:
+            self._flush()
 
     def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
         if self._done:
-            self._sim.call_soon(fn, self)
+            self._sim._ready.append((None, fn, (self,)))
         else:
             self._callbacks.append(fn)
 
     def _flush(self) -> None:
+        ready = self._sim._ready
         callbacks, self._callbacks = self._callbacks, []
         for fn in callbacks:
-            self._sim.call_soon(fn, self)
+            ready.append((None, fn, (self,)))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "pending"
@@ -169,7 +214,7 @@ class Process:
         self.daemon = daemon
         self.result = Future(sim, name=f"{self.name}.result")
         self._finished = False
-        sim.call_soon(self._step, None, None)
+        sim._ready.append((None, self._step, (None, None)))
 
     @property
     def finished(self) -> bool:
@@ -178,7 +223,9 @@ class Process:
     def kill(self) -> None:
         """Throw :class:`ProcessKilled` into the process at the current time."""
         if not self._finished:
-            self.sim.call_soon(self._step, None, ProcessKilled(self.name))
+            self.sim._ready.append(
+                (None, self._step, (None, ProcessKilled(self.name)))
+            )
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         if self._finished:
@@ -201,21 +248,42 @@ class Process:
             if not self.daemon:
                 self.sim._report_crash(self, err)
             return
-        self._dispatch(yielded)
+        # Exact-type dispatch table first (the common cases); fall back to the
+        # isinstance chain only for subclasses of the yieldable types.
+        handler = _DISPATCH.get(yielded.__class__)
+        if handler is not None:
+            handler(self, yielded)
+        else:
+            self._dispatch_slow(yielded)
 
     def _finish_value(self, value: Any) -> None:
         self._finished = True
         self.result.resolve(value)
 
-    def _dispatch(self, yielded: Any) -> None:
+    # -- yield dispatch ------------------------------------------------------
+
+    def _on_timeout(self, yielded: "Timeout") -> None:
+        self.sim.timer(yielded.delay, self._step, None, None)
+
+    def _on_future(self, yielded: "Future") -> None:
+        if yielded._done:
+            self.sim._ready.append((None, self._resume_from_future, (yielded,)))
+        else:
+            yielded._callbacks.append(self._resume_from_future)
+
+    def _on_process(self, yielded: "Process") -> None:
+        self._on_future(yielded.result)
+
+    def _on_none(self, yielded: None) -> None:
+        self.sim._ready.append((None, self._step, (None, None)))
+
+    def _dispatch_slow(self, yielded: Any) -> None:
         if isinstance(yielded, Timeout):
-            self.sim.call_after(yielded.delay, self._step, None, None)
+            self._on_timeout(yielded)
         elif isinstance(yielded, Future):
-            yielded.add_done_callback(self._resume_from_future)
+            self._on_future(yielded)
         elif isinstance(yielded, Process):
-            yielded.result.add_done_callback(self._resume_from_future)
-        elif yielded is None:
-            self.sim.call_soon(self._step, None, None)
+            self._on_process(yielded)
         else:
             self._step(None, SimError(f"process yielded unsupported value {yielded!r}"))
 
@@ -229,12 +297,28 @@ class Process:
         return f"Process({self.name!r}, finished={self._finished})"
 
 
+#: Exact-type yield dispatch; subclasses fall through to ``_dispatch_slow``.
+_DISPATCH: dict = {
+    Timeout: Process._on_timeout,
+    Future: Process._on_future,
+    Process: Process._on_process,
+    type(None): Process._on_none,
+}
+
+
 class Simulator:
-    """The event loop: a heap of ``(time, seq, handle, fn, args)`` entries."""
+    """The event loop: a FIFO ready queue plus a lazily-cancelled timer heap.
+
+    See the module docstring for the scheduler design and its ordering
+    guarantees.  ``now`` only advances when the ready queue is empty.
+    """
 
     def __init__(self, seed: int = 0):
-        self._heap: list[tuple[float, int, Handle, Callable, tuple]] = []
-        self._seq = itertools.count()
+        #: FIFO of (handle_or_None, fn, args) at the current simulated time.
+        self._ready: deque = deque()
+        #: Heap of (when, seq, handle_or_None, fn, args) strictly-future timers.
+        self._heap: list = []
+        self._seq = itertools.count(1)
         self._now = 0.0
         self.rng = random.Random(seed)
         self._crash: Optional[ProcessCrashed] = None
@@ -247,17 +331,40 @@ class Simulator:
     # -- scheduling ---------------------------------------------------------
 
     def call_at(self, when: float, fn: Callable, *args: Any) -> Handle:
-        if when < self._now - 1e-12:
-            raise SimError(f"cannot schedule in the past: {when} < {self._now}")
+        """Schedule ``fn(*args)`` at absolute time ``when``; cancellable."""
         handle = Handle()
-        heapq.heappush(self._heap, (when, next(self._seq), handle, fn, args))
+        if when > self._now:
+            _heappush(self._heap, (when, next(self._seq), handle, fn, args))
+        else:
+            if when < self._now - _PAST_SLOP:
+                raise SimError(f"cannot schedule in the past: {when} < {self._now}")
+            self._ready.append((handle, fn, args))
         return handle
 
     def call_after(self, delay: float, fn: Callable, *args: Any) -> Handle:
         return self.call_at(self._now + delay, fn, *args)
 
     def call_soon(self, fn: Callable, *args: Any) -> Handle:
-        return self.call_at(self._now, fn, *args)
+        handle = Handle()
+        self._ready.append((handle, fn, args))
+        return handle
+
+    def defer(self, fn: Callable, *args: Any) -> None:
+        """Allocation-lean ``call_soon``: no :class:`Handle`, not cancellable."""
+        self._ready.append((None, fn, args))
+
+    def timer(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Allocation-lean ``call_after``: no :class:`Handle`, not cancellable.
+
+        A non-positive ``delay`` lands on the ready queue, preserving the
+        invariant that the heap only holds strictly-future entries.
+        """
+        if delay > 0.0:
+            _heappush(self._heap, (self._now + delay, next(self._seq), None, fn, args))
+        else:
+            if delay < -_PAST_SLOP:
+                raise SimError(f"cannot schedule in the past: delay {delay}")
+            self._ready.append((None, fn, args))
 
     def spawn(self, gen: Generator, name: str = "", daemon: bool = False) -> Process:
         return Process(self, gen, name=name, daemon=daemon)
@@ -268,35 +375,63 @@ class Simulator:
     # -- execution ----------------------------------------------------------
 
     def step(self) -> bool:
-        """Run one event; return False if the heap is empty."""
-        while self._heap:
-            when, _seq, handle, fn, args = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self._now = when
+        """Run one event; return False if both queues are empty."""
+        ready = self._ready
+        heap = self._heap
+        while True:
+            # Heap entries at the current time were scheduled before the
+            # clock reached it, so they precede every ready entry (see the
+            # module docstring's ordering argument).
+            if heap and (not ready or heap[0][0] <= self._now):
+                when, _seq, handle, fn, args = _heappop(heap)
+                if handle is not None and handle.cancelled:
+                    continue
+                self._now = when
+            elif ready:
+                handle, fn, args = ready.popleft()
+                if handle is not None and handle.cancelled:
+                    continue
+            else:
+                return False
             self.events_executed += 1
             fn(*args)
             if self._crash is not None:
                 crash, self._crash = self._crash, None
                 raise crash
             return True
-        return False
+
+    def _next_event_time(self) -> Optional[float]:
+        """Time of the next entry in pop order (cancelled entries included)."""
+        if self._heap and self._heap[0][0] <= self._now:
+            return self._heap[0][0]
+        if self._ready:
+            return self._now
+        if self._heap:
+            return self._heap[0][0]
+        return None
 
     def run(self, until: Optional[float] = None) -> float:
-        """Process events until the heap drains or sim time passes ``until``."""
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                break
-            self.step()
-        if until is not None and self._now < until:
-            self._now = until
+        """Process events until the queues drain or sim time passes ``until``."""
+        if until is None:
+            while self.step():
+                pass
+        else:
+            while True:
+                t_next = self._next_event_time()
+                if t_next is None or t_next > until:
+                    break
+                self.step()
+            if self._now < until:
+                self._now = until
         return self._now
 
     def run_until(self, fut: Future, limit: Optional[float] = None) -> Any:
         """Run until ``fut`` resolves; return its value (or raise its failure)."""
         while not fut.done:
-            if limit is not None and self._heap and self._heap[0][0] > limit:
-                raise SimError(f"future {fut.name!r} not done by t={limit}")
+            if limit is not None:
+                t_next = self._next_event_time()
+                if t_next is not None and t_next > limit:
+                    raise SimError(f"future {fut.name!r} not done by t={limit}")
             if not self.step():
                 raise SimError(f"event heap drained before {fut.name!r} resolved")
         return fut.result()
@@ -310,23 +445,21 @@ def all_of(sim: Simulator, futures: Iterable[Future]) -> Future:
     """A future resolving with the list of all values (fails on first failure)."""
     futures = list(futures)
     gathered = Future(sim, name="all_of")
-    remaining = len(futures)
-    if remaining == 0:
+    if not futures:
         gathered.resolve([])
         return gathered
-    values: list[Any] = [None] * remaining
-    state = {"left": remaining, "failed": False}
+    values: list[Any] = [None] * len(futures)
+    left = [len(futures)]
 
     def on_done(index: int, fut: Future) -> None:
-        if gathered.done:
-            return
-        if fut.exception is not None:
-            state["failed"] = True
-            gathered.fail(fut.exception)
+        if gathered._done:
+            return  # already failed; ignore completions arriving late
+        if fut._exc is not None:
+            gathered.fail(fut._exc)
             return
         values[index] = fut._value
-        state["left"] -= 1
-        if state["left"] == 0:
+        left[0] -= 1
+        if left[0] == 0:
             gathered.resolve(values)
 
     for i, fut in enumerate(futures):
@@ -342,10 +475,10 @@ def any_of(sim: Simulator, futures: Iterable[Future]) -> Future:
     first = Future(sim, name="any_of")
 
     def on_done(index: int, fut: Future) -> None:
-        if first.done:
+        if first._done:
             return
-        if fut.exception is not None:
-            first.fail(fut.exception)
+        if fut._exc is not None:
+            first.fail(fut._exc)
         else:
             first.resolve((index, fut._value))
 

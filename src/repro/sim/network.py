@@ -84,11 +84,28 @@ class Network:
         #: address -> endpoint; populated by :class:`repro.sim.rpc.RpcEndpoint`.
         self.endpoints: Dict[str, object] = {}
         self.messages_sent = 0
+        # Base one-way latencies memoised per (src, dst); avoids the frozenset
+        # allocation of ``base_one_way`` on every message.  The latency model
+        # is treated as immutable once attached (swap the whole model to
+        # change it mid-run).
+        self._base: Dict[str, Dict[str, float]] = {}
 
     def deliver(
         self, src_region: str, dst_region: str, fn: Callable, *args
     ) -> None:
-        """Schedule ``fn(*args)`` after one sampled one-way latency."""
-        delay = self.latency.one_way(self.sim.rng, src_region, dst_region)
+        """Schedule ``fn(*args)`` after one sampled one-way latency.
+
+        Hot path: messages become direct (handle-free) timer entries, and
+        jitter sampling is skipped entirely when ``jitter_frac == 0`` so
+        jitterless runs never touch the RNG here.
+        """
+        try:
+            delay = self._base[src_region][dst_region]
+        except KeyError:
+            delay = self.latency.base_one_way(src_region, dst_region)
+            self._base.setdefault(src_region, {})[dst_region] = delay
+        jitter = self.latency.jitter_frac
+        if jitter > 0.0:
+            delay *= 1.0 + jitter * self.sim.rng.random()
         self.messages_sent += 1
-        self.sim.call_after(delay, fn, *args)
+        self.sim.timer(delay, fn, *args)

@@ -94,15 +94,16 @@ class RpcEndpoint:
         if self.crashed:
             # A crashed caller sends nothing; mirror the callee-crash behaviour.
             if timeout is not None:
-                self.sim.call_after(
-                    timeout, _fail_if_pending, fut, RpcTimeout(f"{address}.{method}")
-                )
+                self.sim.timer(timeout, _timeout_expired, fut, address, method)
             return fut
 
         timeout_handle = None
         if timeout is not None:
+            # Cancellable handle; the RpcTimeout itself is only materialised
+            # if the timer actually fires (the common case is a reply in time,
+            # where building the exception + message string would be waste).
             timeout_handle = self.sim.call_after(
-                timeout, _fail_if_pending, fut, RpcTimeout(f"{address}.{method}")
+                timeout, _timeout_expired, fut, address, method
             )
 
         def respond(value: Any, exc: Optional[BaseException]) -> None:
@@ -180,6 +181,6 @@ class RpcEndpoint:
                 reply(result, None)
 
 
-def _fail_if_pending(fut: Future, exc: BaseException) -> None:
-    if not fut.done:
-        fut.fail(exc)
+def _timeout_expired(fut: Future, address: str, method: str) -> None:
+    if not fut._done:
+        fut.fail(RpcTimeout(f"{address}.{method}"))

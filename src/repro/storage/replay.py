@@ -34,7 +34,8 @@ class ReplayService:
         log.subscribe(lambda record: self._schedule(log.name, record))
 
     def _schedule(self, log_name: str, record: LogRecord) -> None:
-        self.sim.call_after(self.lag, self._apply, log_name, record)
+        # Handle-free timer: replay entries are never cancelled.
+        self.sim.timer(self.lag, self._apply, log_name, record)
 
     def _apply(self, log_name: str, record: LogRecord) -> None:
         # Appends are scheduled in order and the heap is FIFO at equal times,

@@ -85,6 +85,46 @@ class TestMetricsCollector:
     def test_node_seconds_empty(self):
         assert MetricsCollector().node_seconds(10.0) == 0.0
 
+    def test_node_count_must_be_monotonic(self):
+        m = MetricsCollector()
+        m.record_node_count(5.0, 2)
+        with pytest.raises(ValueError):
+            m.record_node_count(4.0, 3)
+
+    def test_node_count_equal_times_allowed(self):
+        m = MetricsCollector()
+        m.record_node_count(5.0, 2)
+        m.record_node_count(5.0, 3)
+        assert m.node_seconds(until=6.0) == pytest.approx(3.0)
+
+    def test_series_cache_invalidated_by_new_records(self):
+        m = MetricsCollector()
+        m.record_commit(0.5, 0.01)
+        assert dict(m.throughput_series(until=1.0))[0.0] == 1
+        assert dict(m.latency_series(until=1.0))[0.0] == pytest.approx(0.01)
+        m.record_commit(0.6, 0.03)
+        assert dict(m.throughput_series(until=1.0))[0.0] == 2
+        assert dict(m.latency_series(until=1.0))[0.0] == pytest.approx(0.02)
+
+    def test_latencies_view_reconstructs_buckets(self):
+        m = MetricsCollector(bucket=1.0)
+        m.record_commit(0.2, 0.01)
+        m.record_commit(1.7, 0.02)
+        m.record_commit(0.9, 0.03)
+        assert m.latencies == {0: [0.01, 0.03], 1: [0.02]}
+
+    def test_latency_series_out_of_order_commits(self):
+        # Commit times are usually monotonic (sim time) but the collector
+        # must not rely on it for correctness of the grouped series.
+        m = MetricsCollector()
+        m.record_commit(2.5, 0.04)
+        m.record_commit(0.5, 0.01)
+        m.record_commit(2.6, 0.06)
+        series = dict(m.latency_series(until=3.0))
+        assert series[0.0] == pytest.approx(0.01)
+        assert series[1.0] == 0.0
+        assert series[2.0] == pytest.approx(0.05)
+
 
 class TestCostModel:
     def _metrics(self, nodes=4, committed=1000, duration=100.0):

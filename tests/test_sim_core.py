@@ -344,6 +344,96 @@ class TestCombinators:
             any_of(sim, [])
 
 
+class TestTwoTierScheduler:
+    """The ready-queue/timer-heap split must preserve (time, seq) order."""
+
+    def test_heap_entries_at_now_precede_ready_entries(self, sim):
+        # Two timers land at t=1.0 (scheduled before the clock got there);
+        # the first one issues a call_soon.  The old kernel ran strictly in
+        # sequence order: timer1, timer2, then the call_soon callback.
+        order = []
+        sim.call_at(1.0, lambda: (order.append("timer1"),
+                                  sim.call_soon(lambda: order.append("soon"))))
+        sim.call_at(1.0, lambda: order.append("timer2"))
+        sim.run()
+        assert order == ["timer1", "timer2", "soon"]
+
+    def test_call_soon_and_defer_interleave_fifo(self, sim):
+        order = []
+        sim.call_soon(lambda: order.append("a"))
+        sim.defer(lambda: order.append("b"))
+        sim.call_soon(lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_call_soon_handle_does_not_fire(self, sim):
+        seen = []
+        handle = sim.call_soon(lambda: seen.append(1))
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_timer_fires_at_offset(self, sim):
+        seen = []
+        sim.timer(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_timer_zero_delay_runs_at_current_time_fifo(self, sim):
+        order = []
+        sim.call_soon(lambda: order.append("soon"))
+        sim.timer(0.0, lambda: order.append("timer0"))
+        sim.run()
+        assert order == ["soon", "timer0"]
+        assert sim.now == 0.0
+
+    def test_timer_negative_delay_raises(self, sim):
+        with pytest.raises(SimError):
+            sim.timer(-1.0, lambda: None)
+
+    def test_call_at_tiny_past_tolerated(self, sim):
+        sim.call_after(1.0, lambda: None)
+        sim.run()
+        seen = []
+        sim.call_at(sim.now - 1e-13, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.0]
+
+    def test_clock_only_advances_when_ready_queue_drained(self, sim):
+        order = []
+
+        def at_start():
+            order.append(("soon", sim.now))
+            sim.call_soon(lambda: order.append(("soon2", sim.now)))
+
+        sim.call_soon(at_start)
+        sim.call_after(1.0, lambda: order.append(("timer", sim.now)))
+        sim.run()
+        assert order == [("soon", 0.0), ("soon2", 0.0), ("timer", 1.0)]
+
+
+class TestAllOfLateCompletions:
+    def test_late_success_after_failure_is_ignored(self, sim):
+        futs = [sim.event() for _ in range(2)]
+        gathered = all_of(sim, futs)
+        sim.call_after(1.0, futs[0].fail, RuntimeError("early"))
+        sim.call_after(2.0, futs[1].resolve, "late")
+        with pytest.raises(RuntimeError):
+            sim.run_until(gathered)
+        sim.run()  # the late resolve must not double-resolve the gather
+        assert isinstance(gathered.exception, RuntimeError)
+
+    def test_late_failure_after_failure_is_ignored(self, sim):
+        futs = [sim.event() for _ in range(2)]
+        gathered = all_of(sim, futs)
+        sim.call_after(1.0, futs[0].fail, RuntimeError("first"))
+        sim.call_after(2.0, futs[1].fail, ValueError("second"))
+        with pytest.raises(RuntimeError):
+            sim.run_until(gathered)
+        sim.run()
+        assert isinstance(gathered.exception, RuntimeError)
+
+
 class TestDeterminism:
     def test_same_seed_same_trace(self):
         def run(seed):

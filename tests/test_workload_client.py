@@ -66,6 +66,22 @@ class TestRouter:
         rng = random.Random(0)
         assert router.any_node(rng, exclude=1) == 1
 
+    def test_any_node_cache_tracks_membership_changes(self):
+        router = Router({0: 1})
+        rng = random.Random(0)
+        assert router.any_node(rng) == 1  # warm the cache
+        router.update(1, 5)
+        assert {router.any_node(rng) for _ in range(30)} == {1, 5}
+        router.drop_node(1)
+        assert {router.any_node(rng) for _ in range(30)} == {5}
+        router.sync({0: 7, 1: 7})
+        assert {router.any_node(rng) for _ in range(30)} == {7}
+
+    def test_any_node_exclude_unknown_node_uses_full_set(self):
+        router = Router({0: 1, 1: 2})
+        rng = random.Random(0)
+        assert {router.any_node(rng, exclude=99) for _ in range(30)} == {1, 2}
+
 
 class TestClient:
     def test_clients_commit_transactions(self, pair):
