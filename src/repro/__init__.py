@@ -13,8 +13,12 @@ Public API quick map:
 * :mod:`repro.workload` — YCSB and TPC-C generators plus closed-loop clients.
 * :mod:`repro.experiments` — ``fig8`` … ``fig15``: one module per figure in
   the paper's evaluation, each regenerating its table/series.
+* :mod:`repro.chaos` — deterministic fault injection: typed fault events,
+  declarative :class:`FaultSchedule` timelines and the seeded
+  :class:`ChaosController` (see CHAOS.md).
 """
 
+from repro.chaos import ChaosController, FaultSchedule
 from repro.cluster import Cluster, ClusterConfig, CostModel, MetricsCollector
 from repro.core import MarlinRuntime, check_invariants, marlin_commit
 from repro.core.autoscaler import Autoscaler
@@ -25,10 +29,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Autoscaler",
+    "ChaosController",
     "Client",
     "Cluster",
     "ClusterConfig",
     "CostModel",
+    "FaultSchedule",
     "MarlinRuntime",
     "MetricsCollector",
     "NodeParams",

@@ -1,0 +1,265 @@
+"""Typed fault events and declarative fault schedules.
+
+A fault event is an immutable description of *what* goes wrong; the
+:class:`~repro.chaos.controller.ChaosController` decides *how* it lands on
+the running cluster.  Events with a ``duration`` are windows — the controller
+injects them at their scheduled time and clears them ``duration`` seconds
+later; ``duration=None`` means the fault holds until cleared explicitly.
+
+A :class:`FaultSchedule` is a timeline of ``(at, event)`` pairs.  It can be
+built fluently (``schedule.at(2.0, Partition(...))``) or parsed from a plain
+declarative spec (``FaultSchedule.from_spec([{"at": 2.0, "kind":
+"partition", ...}])``), which is the format documented in CHAOS.md.
+
+Nodes are referenced by integer id wherever an address is expected; the
+controller resolves ids to RPC addresses (``node-3``) and accepts raw
+address strings (``"storage-us-west"``, ``"admin"``) unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "ClockJitter",
+    "Crash",
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "PacketLoss",
+    "Partition",
+    "Restart",
+    "SlowNode",
+    "StorageStall",
+]
+
+#: A node id (resolved to ``node-<id>``) or a raw RPC address.
+Endpoint = Union[int, str]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class; subclasses define the fault vocabulary."""
+
+    #: Window length in seconds; ``None`` holds until cleared explicitly.
+    duration: Optional[float] = field(default=None, kw_only=True)
+
+    @property
+    def kind(self) -> str:
+        return _KIND_BY_CLASS[type(self)]
+
+    def describe(self) -> str:
+        parts = [
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self)
+            if f.name != "duration" and getattr(self, f.name) is not None
+        ]
+        if self.duration is not None:
+            parts.append(f"duration={self.duration}")
+        return f"{self.kind}({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class Partition(FaultEvent):
+    """Sever connectivity between every pair of endpoints in different groups.
+
+    ``groups`` is a sequence of endpoint groups; endpoints not named in any
+    group keep full connectivity (so storage and clients stay reachable
+    unless explicitly partitioned).  With ``symmetric=False`` only messages
+    *into* the first group are blocked — the asymmetric "unreachable from its
+    monitors but still able to send" gray-partition shape.
+    """
+
+    groups: Tuple[Tuple[Endpoint, ...], ...] = ()
+    symmetric: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "groups", tuple(tuple(g) for g in self.groups)
+        )
+        if len(self.groups) < 2:
+            raise ValueError("Partition needs at least two groups")
+
+
+@dataclass(frozen=True)
+class PacketLoss(FaultEvent):
+    """Drop each message between the pair with probability ``rate``."""
+
+    pair: Tuple[Endpoint, Endpoint] = ()
+    rate: float = 0.1
+    symmetric: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "pair", tuple(self.pair))
+        if len(self.pair) != 2:
+            raise ValueError("PacketLoss pair must name exactly two endpoints")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"loss rate out of range: {self.rate}")
+
+
+@dataclass(frozen=True)
+class SlowNode(FaultEvent):
+    """Gray failure: the node stays up but everything takes longer.
+
+    ``cpu_factor`` dilates CPU service times; ``rpc_lag`` adds server-side
+    processing delay to every inbound request (which is what starves
+    heartbeat replies past the detector timeout).
+    """
+
+    node: int = 0
+    cpu_factor: float = 4.0
+    rpc_lag: float = 0.0
+
+    def __post_init__(self):
+        if self.cpu_factor <= 0:
+            raise ValueError(f"cpu_factor must be positive: {self.cpu_factor}")
+
+
+@dataclass(frozen=True)
+class StorageStall(FaultEvent):
+    """Brownout of one region's storage service for ``duration`` seconds."""
+
+    region: str = "us-west"
+
+    def __post_init__(self):
+        if self.duration is None or self.duration <= 0:
+            raise ValueError("StorageStall requires a positive duration")
+
+
+@dataclass(frozen=True)
+class Crash(FaultEvent):
+    """Freeze a node; with a ``duration``, restart it when the window ends."""
+
+    node: int = 0
+    #: Re-run AddNodeTxn on restart (only meaningful with a duration).
+    rejoin: bool = True
+
+
+@dataclass(frozen=True)
+class Restart(FaultEvent):
+    """Unfreeze a crashed node (and, by default, rejoin membership)."""
+
+    node: int = 0
+    rejoin: bool = True
+
+
+@dataclass(frozen=True)
+class ClockJitter(FaultEvent):
+    """Clock slew on one node: inbound requests see a seeded uniform extra
+    delay in ``[0, spread)`` — timers and responses drift unpredictably."""
+
+    node: int = 0
+    spread: float = 0.01
+
+    def __post_init__(self):
+        if self.spread <= 0:
+            raise ValueError(f"spread must be positive: {self.spread}")
+
+
+#: Declarative-spec kind names (CHAOS.md vocabulary).
+EVENT_KINDS: Dict[str, type] = {
+    "partition": Partition,
+    "packet_loss": PacketLoss,
+    "slow_node": SlowNode,
+    "storage_stall": StorageStall,
+    "crash": Crash,
+    "restart": Restart,
+    "clock_jitter": ClockJitter,
+}
+_KIND_BY_CLASS = {cls: name for name, cls in EVENT_KINDS.items()}
+
+
+class FaultSchedule:
+    """An ordered timeline of ``(at, FaultEvent)`` pairs.
+
+    Entries may be added in any order; iteration is by ``(at, insertion)``.
+    The schedule itself is pure data — executing it is the controller's job —
+    so one schedule can drive many runs (and many seeds).
+    """
+
+    def __init__(self, entries: Optional[List[Tuple[float, FaultEvent]]] = None):
+        self._entries: List[Tuple[float, FaultEvent]] = []
+        for at, event in entries or ():
+            self.at(at, event)
+
+    def at(self, time: float, event: FaultEvent) -> "FaultSchedule":
+        """Schedule ``event`` for injection at sim time ``time`` (chainable)."""
+        if time < 0:
+            raise ValueError(f"cannot schedule a fault in the past: {time}")
+        if not isinstance(event, FaultEvent):
+            raise TypeError(f"not a FaultEvent: {event!r}")
+        self._entries.append((float(time), event))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[float, FaultEvent]]:
+        return iter(self.sorted_entries())
+
+    def sorted_entries(self) -> List[Tuple[float, FaultEvent]]:
+        # sorted() is stable: same-time entries keep insertion order.
+        return sorted(self._entries, key=lambda entry: entry[0])
+
+    @property
+    def horizon(self) -> float:
+        """Time at which the last scheduled window has cleared."""
+        end = 0.0
+        for at, event in self._entries:
+            end = max(end, at + (event.duration or 0.0))
+        return end
+
+    @classmethod
+    def from_spec(cls, spec) -> "FaultSchedule":
+        """Build from a declarative list of dicts.
+
+        Each entry needs ``at`` (sim seconds) and ``kind`` (a key of
+        :data:`EVENT_KINDS`); remaining keys are the event's fields, e.g.::
+
+            FaultSchedule.from_spec([
+                {"at": 2.0, "kind": "partition",
+                 "groups": [[1], [0, 2]], "duration": 3.0},
+                {"at": 4.0, "kind": "storage_stall",
+                 "region": "us-west", "duration": 0.5},
+            ])
+        """
+        schedule = cls()
+        for i, entry in enumerate(spec):
+            entry = dict(entry)
+            try:
+                at = entry.pop("at")
+                kind = entry.pop("kind")
+            except KeyError as missing:
+                raise ValueError(f"spec entry {i} missing {missing}") from None
+            event_cls = EVENT_KINDS.get(kind)
+            if event_cls is None:
+                raise ValueError(
+                    f"spec entry {i}: unknown fault kind {kind!r}; "
+                    f"expected one of {sorted(EVENT_KINDS)}"
+                )
+            if "groups" in entry:
+                entry["groups"] = tuple(tuple(g) for g in entry["groups"])
+            if "pair" in entry:
+                entry["pair"] = tuple(entry["pair"])
+            schedule.at(at, event_cls(**entry))
+        return schedule
+
+    def to_spec(self) -> List[dict]:
+        """The declarative form (round-trips through :meth:`from_spec`)."""
+        spec = []
+        for at, event in self.sorted_entries():
+            entry = {"at": at, "kind": event.kind}
+            for f in fields(event):
+                value = getattr(event, f.name)
+                if f.name == "duration" and value is None:
+                    continue
+                entry[f.name] = value
+            spec.append(entry)
+        return spec
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(
+            f"{at}: {event.describe()}" for at, event in self.sorted_entries()
+        )
+        return f"FaultSchedule([{inner}])"

@@ -1,0 +1,116 @@
+"""Canned fault schedules for the coordination pathologies that matter.
+
+Each builder returns a plain :class:`FaultSchedule`, so scenarios compose
+(``rolling_partition(...).at(t, StorageStall(...))``) and any figure
+experiment can run under any of them via the harness's ``fault_schedule``
+parameter.  Times are absolute sim seconds, matching the harness convention
+(``scale_at`` etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.chaos.events import (
+    Crash,
+    FaultSchedule,
+    PacketLoss,
+    Partition,
+    SlowNode,
+    StorageStall,
+)
+
+__all__ = [
+    "crash_restart_cycle",
+    "flaky_link",
+    "gray_failure",
+    "rolling_partition",
+    "storage_brownout",
+]
+
+
+def rolling_partition(
+    node_ids: Sequence[int],
+    start: float = 1.0,
+    hold: float = 1.0,
+    gap: float = 0.5,
+) -> FaultSchedule:
+    """Isolate each node in turn from the rest of the compute plane.
+
+    Node ``node_ids[i]`` loses peer connectivity for ``hold`` seconds
+    starting at ``start + i * (hold + gap)``; storage and clients stay
+    reachable throughout (the paper's network-partition shape — compute
+    coordination is the thing being stressed, not durability).
+    """
+    schedule = FaultSchedule()
+    node_ids = list(node_ids)
+    at = start
+    for victim in node_ids:
+        others = tuple(n for n in node_ids if n != victim)
+        schedule.at(
+            at, Partition(groups=((victim,), others), duration=hold)
+        )
+        at += hold + gap
+    return schedule
+
+
+def gray_failure(
+    node: int,
+    at: float = 1.0,
+    duration: Optional[float] = None,
+    cpu_factor: float = 16.0,
+    rpc_lag: float = 0.4,
+) -> FaultSchedule:
+    """One node turns slow-but-alive: CPU dilated, every RPC response late.
+
+    With ``rpc_lag`` above the detector timeout the node keeps *serving*
+    (slowly) while its heartbeats miss — the classic gray failure that must
+    end in RecoveryMigrTxn fencing it through its own GLog, not in a
+    double-owner split.  ``duration=None`` leaves it degraded until failover
+    fences it.
+    """
+    return FaultSchedule().at(
+        at,
+        SlowNode(
+            node=node, cpu_factor=cpu_factor, rpc_lag=rpc_lag,
+            duration=duration,
+        ),
+    )
+
+
+def storage_brownout(
+    region: str,
+    at: float = 1.0,
+    stall: float = 0.5,
+    repeat: int = 1,
+    gap: float = 1.0,
+) -> FaultSchedule:
+    """``repeat`` storage stall windows of ``stall`` seconds, ``gap`` apart."""
+    schedule = FaultSchedule()
+    for i in range(repeat):
+        schedule.at(at + i * (stall + gap), StorageStall(region=region, duration=stall))
+    return schedule
+
+
+def crash_restart_cycle(
+    node: int,
+    at: float = 1.0,
+    down_for: float = 5.0,
+    rejoin: bool = True,
+) -> FaultSchedule:
+    """Crash a node and bring it back ``down_for`` seconds later."""
+    return FaultSchedule().at(
+        at, Crash(node=node, rejoin=rejoin, duration=down_for)
+    )
+
+
+def flaky_link(
+    pair: Tuple[int, int],
+    at: float = 1.0,
+    rate: float = 0.3,
+    duration: float = 2.0,
+) -> FaultSchedule:
+    """Probabilistic loss on one node pair (both directions)."""
+    return FaultSchedule().at(
+        at, PacketLoss(pair=pair, rate=rate, duration=duration)
+    )

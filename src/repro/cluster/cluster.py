@@ -87,6 +87,7 @@ class Cluster:
         self.admin = RpcEndpoint(self.sim, self.network, "admin", config.home_region)
         self.nodes: Dict[int, ComputeNode] = {}
         self.detectors: Dict[int, RingFailureDetector] = {}
+        self._chaos = None
         self._next_node_id = 0
         self._last_assignment: Dict[int, int] = {}
         #: Set by workload drivers; read by the autoscaler.
@@ -344,6 +345,15 @@ class Cluster:
 
     # -- failures -------------------------------------------------------------------------
 
+    @property
+    def chaos(self):
+        """Lazily-built :class:`repro.chaos.ChaosController` for this cluster."""
+        if self._chaos is None:
+            from repro.chaos.controller import ChaosController
+
+            self._chaos = ChaosController(self)
+        return self._chaos
+
     def fail_node(self, node_id: int) -> None:
         """Freeze a node (the paper's unhealthy-node state, Figure 7)."""
         self.nodes[node_id].freeze()
@@ -351,6 +361,42 @@ class Cluster:
 
     def resume_node(self, node_id: int) -> None:
         self.nodes[node_id].unfreeze()
+
+    def restart_node(self, node_id: int, rejoin: bool = True) -> Generator:
+        """Unfreeze ``node_id`` and (optionally) re-register it as a member.
+
+        The node slept through an unknown amount of history, so before
+        rejoining it refreshes the state it derives views from (its GLog and
+        the SysLog) and re-runs AddNodeTxn — the sequence a recovered VM
+        performs on boot.  A node that was never removed from MTable (no
+        failover ran) just refreshes its caches.  Returns True once the node
+        is a member again; ``rejoin=False`` only unfreezes (and returns
+        False: the node serves stale state until it refreshes itself).
+        """
+        node = self.nodes[node_id]
+        node.unfreeze()
+        if not rejoin:
+            self.metrics.record_node_count(self.sim.now, len(self.live_node_ids()))
+            return False
+        yield from node.runtime.handle_cas_failure(node.glog)
+        yield from node.runtime.handle_cas_failure(SYSLOG)
+        if node_id in node.mtable:
+            ok = True  # still a member: nobody fenced us while we were down
+        else:
+            ok = yield from node.runtime.add_node()
+            if ok and hasattr(node.runtime, "broadcast_sys_update"):
+                node.runtime.broadcast_sys_update(
+                    [Put(MTABLE, node_id, node.address)]
+                )
+        if (
+            ok
+            and self.config.failure_detection
+            and self.config.coordination == "marlin"
+            and node_id not in self.detectors
+        ):
+            self._start_detector(node_id)
+        self.metrics.record_node_count(self.sim.now, len(self.live_node_ids()))
+        return ok
 
     def price(self, duration: Optional[float] = None):
         d = self.sim.now if duration is None else duration

@@ -88,6 +88,12 @@ class RingFailureDetector:
         node = self.runtime.node
         self._proc = node.spawn(self._loop(), name=f"ring-detector-{node.node_id}")
 
+    def stop(self) -> None:
+        """Halt the probe loop (in-flight failovers are left to finish)."""
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc = None
+
     def ring_targets(self) -> List[int]:
         """The ``k`` successors of this node in the id-sorted MTable ring."""
         node = self.runtime.node

@@ -195,12 +195,22 @@ def run_scale_out_scenario(
     seed: int = 1,
     node_params: Optional[NodeParams] = None,
     check_invariants: bool = True,
+    fault_schedule=None,
+    failure_detection: bool = False,
+    chaos_settle: float = 1.0,
 ) -> ScenarioResult:
     """One full scale-out run (§6.2/§6.3 shape) for one system.
 
     The run ends ``tail`` seconds after the last migration commits, so every
     system is measured over its own reconfiguration window plus a stable
     after-phase (mirroring the paper's fixed-duration plots).
+
+    ``fault_schedule`` (a :class:`repro.chaos.FaultSchedule`) runs the whole
+    scenario under chaos: the schedule starts with the cluster, the run is
+    extended past the schedule's horizon plus ``chaos_settle`` seconds, and
+    the quiescence invariants are asserted once every fault has cleared and
+    recovery quiesced.  Chaotic scale-outs usually want
+    ``failure_detection=True`` so fenced nodes actually get failed over.
     """
     config = ClusterConfig(
         coordination=system,
@@ -211,9 +221,13 @@ def run_scale_out_scenario(
         keys_per_granule=keys_per_granule,
         node_params=node_params or EXP_NODE_PARAMS,
         metrics_bucket=1.0,
+        failure_detection=failure_detection,
         seed=seed,
     )
     cluster = Cluster(config)
+    schedule_proc = None
+    if fault_schedule is not None:
+        schedule_proc = cluster.chaos.run_schedule(fault_schedule)
     cluster.run(until=0.1)
     router, client_pool = start_clients(cluster, clients, workload, seed=seed * 977)
 
@@ -228,7 +242,13 @@ def run_scale_out_scenario(
     proc = cluster.sim.spawn(do_scale(), name="scale-out", daemon=True)
     cluster.sim.run_until(proc.result, limit=3600.0)
     end = cluster.sim.now + tail
+    if fault_schedule is not None:
+        # Let every scheduled fault land and clear, then quiesce recovery.
+        end = max(end, fault_schedule.horizon + chaos_settle)
     cluster.run(until=end)
+    if schedule_proc is not None:
+        cluster.sim.run_until(schedule_proc.result, limit=end + 3600.0)
+        cluster.settle(chaos_settle)
     for client in client_pool:
         client.stop()
     cluster.settle(0.2)

@@ -16,16 +16,24 @@ from repro.sim.core import (
     all_of,
     any_of,
 )
-from repro.sim.network import AZURE_REGIONS, LatencyModel, Network
+from repro.sim.network import AZURE_REGIONS, LatencyModel, Network, NetworkFaultPlane
 from repro.sim.resources import CpuResource, Queue
-from repro.sim.rpc import RemoteError, RpcEndpoint, RpcError, RpcTimeout
+from repro.sim.rpc import (
+    EndpointDegradation,
+    RemoteError,
+    RpcEndpoint,
+    RpcError,
+    RpcTimeout,
+)
 
 __all__ = [
     "AZURE_REGIONS",
     "CpuResource",
+    "EndpointDegradation",
     "Future",
     "LatencyModel",
     "Network",
+    "NetworkFaultPlane",
     "Process",
     "Queue",
     "RemoteError",

@@ -401,13 +401,28 @@ class Simulator:
             return True
 
     def _next_event_time(self) -> Optional[float]:
-        """Time of the next entry in pop order (cancelled entries included)."""
-        if self._heap and self._heap[0][0] <= self._now:
-            return self._heap[0][0]
-        if self._ready:
+        """Time of the next *live* entry in pop order.
+
+        Cancelled entries are pruned here (heap top popped, ready front
+        dropped) — they would be discarded by ``step`` anyway, and counting
+        them made ``run(until)`` overshoot its deadline: a cancelled timer at
+        the heap top reported a time within the deadline, ``step`` skipped it
+        and ran the next live event regardless of its time.  Pruning keeps
+        the deadline exact without touching the ``step`` hot path (``run``
+        with no deadline never calls this).
+        """
+        heap = self._heap
+        while heap and heap[0][2] is not None and heap[0][2].cancelled:
+            _heappop(heap)
+        ready = self._ready
+        while ready and ready[0][0] is not None and ready[0][0].cancelled:
+            ready.popleft()
+        if heap and heap[0][0] <= self._now:
+            return heap[0][0]
+        if ready:
             return self._now
-        if self._heap:
-            return self._heap[0][0]
+        if heap:
+            return heap[0][0]
         return None
 
     def run(self, until: Optional[float] = None) -> float:

@@ -6,15 +6,25 @@ approximate one-way latencies between those regions (derived from public
 inter-region RTT measurements); intra-region delivery uses a small datacenter
 latency.  Latencies are jittered multiplicatively with the simulator's seeded
 RNG, so runs remain deterministic.
+
+Fault injection
+---------------
+
+``Network.fault_plane`` is an optional :class:`NetworkFaultPlane` consulted on
+every addressed delivery: a directed reachability matrix (partitions), a
+per-link drop rate (packet loss) and per-link extra delay (degraded links).
+It is ``None`` by default, so fault-free runs pay one attribute check and
+never touch the RNG — existing seeded runs stay bit-identical.  The plane is
+installed and driven by :class:`repro.chaos.ChaosController`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Optional
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.sim.core import Simulator
 
-__all__ = ["AZURE_REGIONS", "LatencyModel", "Network"]
+__all__ = ["AZURE_REGIONS", "LatencyModel", "Network", "NetworkFaultPlane"]
 
 US_WEST = "us-west"
 ASIA_EAST = "asia-east"
@@ -75,6 +85,71 @@ class LatencyModel:
         return base * (1.0 + self.jitter_frac * rng.random())
 
 
+class NetworkFaultPlane:
+    """Mutable directed fault state consulted by :meth:`Network.deliver_addr`.
+
+    All state is keyed by directed ``(src_addr, dst_addr)`` pairs, so
+    asymmetric pathologies (a node unreachable from its monitors but able to
+    send, a lossy one-way link) are expressible directly.  Drop decisions are
+    drawn from ``rng`` — the chaos controller's dedicated seeded RNG — so a
+    chaotic run replays bit-identically.
+    """
+
+    __slots__ = ("rng", "blocked", "loss", "link_delay")
+
+    def __init__(self, rng):
+        self.rng = rng
+        #: Directed (src, dst) address pairs with no connectivity at all.
+        self.blocked: set = set()
+        #: Directed (src, dst) -> drop probability in [0, 1].
+        self.loss: Dict[Tuple[str, str], float] = {}
+        #: Directed (src, dst) -> extra one-way delay (seconds).
+        self.link_delay: Dict[Tuple[str, str], float] = {}
+
+    def on_message(self, src: Optional[str], dst: Optional[str]) -> Optional[float]:
+        """Verdict for one message: ``None`` to drop it, else extra delay."""
+        pair = (src, dst)
+        if pair in self.blocked:
+            return None
+        rate = self.loss.get(pair)
+        if rate and self.rng.random() < rate:
+            return None
+        return self.link_delay.get(pair, 0.0)
+
+    # -- mutation helpers (used by the chaos controller) ---------------------
+
+    def block(self, src: str, dst: str) -> None:
+        self.blocked.add((src, dst))
+
+    def unblock(self, src: str, dst: str) -> None:
+        self.blocked.discard((src, dst))
+
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> None:
+        """Sever both directions between every cross pair of the two groups."""
+        for a in group_a:
+            for b in group_b:
+                self.blocked.add((a, b))
+                self.blocked.add((b, a))
+
+    def heal(self, group_a: Iterable[str], group_b: Iterable[str]) -> None:
+        for a in group_a:
+            for b in group_b:
+                self.blocked.discard((a, b))
+                self.blocked.discard((b, a))
+
+    def set_loss(self, src: str, dst: str, rate: float) -> None:
+        if rate > 0.0:
+            self.loss[(src, dst)] = rate
+        else:
+            self.loss.pop((src, dst), None)
+
+    def set_link_delay(self, src: str, dst: str, extra: float) -> None:
+        if extra > 0.0:
+            self.link_delay[(src, dst)] = extra
+        else:
+            self.link_delay.pop((src, dst), None)
+
+
 class Network:
     """Delivers messages between registered endpoints with modeled latency."""
 
@@ -84,21 +159,53 @@ class Network:
         #: address -> endpoint; populated by :class:`repro.sim.rpc.RpcEndpoint`.
         self.endpoints: Dict[str, object] = {}
         self.messages_sent = 0
+        self.messages_dropped = 0
+        #: Optional :class:`NetworkFaultPlane`; ``None`` on fault-free runs.
+        self.fault_plane: Optional[NetworkFaultPlane] = None
         # Base one-way latencies memoised per (src, dst); avoids the frozenset
         # allocation of ``base_one_way`` on every message.  The latency model
         # is treated as immutable once attached (swap the whole model to
         # change it mid-run).
         self._base: Dict[str, Dict[str, float]] = {}
 
+    def install_fault_plane(self, rng) -> NetworkFaultPlane:
+        """Attach (or return the already-attached) fault plane."""
+        if self.fault_plane is None:
+            self.fault_plane = NetworkFaultPlane(rng)
+        return self.fault_plane
+
     def deliver(
         self, src_region: str, dst_region: str, fn: Callable, *args
+    ) -> None:
+        """Schedule ``fn(*args)`` after one sampled one-way latency (no
+        endpoint addressing; not subject to address-level faults)."""
+        self.deliver_addr(src_region, dst_region, None, None, fn, *args)
+
+    def deliver_addr(
+        self,
+        src_region: str,
+        dst_region: str,
+        src_addr: Optional[str],
+        dst_addr: Optional[str],
+        fn: Callable,
+        *args,
     ) -> None:
         """Schedule ``fn(*args)`` after one sampled one-way latency.
 
         Hot path: messages become direct (handle-free) timer entries, and
         jitter sampling is skipped entirely when ``jitter_frac == 0`` so
-        jitterless runs never touch the RNG here.
+        jitterless runs never touch the RNG here.  The fault plane, when
+        installed, may drop the message (partition / packet loss) or add
+        per-link delay.
         """
+        extra = 0.0
+        plane = self.fault_plane
+        if plane is not None:
+            verdict = plane.on_message(src_addr, dst_addr)
+            if verdict is None:
+                self.messages_dropped += 1
+                return
+            extra = verdict
         try:
             delay = self._base[src_region][dst_region]
         except KeyError:
@@ -107,5 +214,7 @@ class Network:
         jitter = self.latency.jitter_frac
         if jitter > 0.0:
             delay *= 1.0 + jitter * self.sim.rng.random()
+        if extra > 0.0:
+            delay += extra
         self.messages_sent += 1
         self.sim.timer(delay, fn, *args)

@@ -29,6 +29,9 @@ class CpuResource:
         self._waiters: deque[Future] = deque()
         self.busy_time = 0.0
         self.jobs_completed = 0
+        #: Gray-failure dilation: every job's service time is multiplied by
+        #: this factor (1.0 = healthy; set by the chaos controller).
+        self.slow_factor = 1.0
 
     @property
     def in_use(self) -> int:
@@ -58,6 +61,8 @@ class CpuResource:
 
     def run(self, service_time: float) -> Generator:
         """Process fragment: occupy one slot for ``service_time`` seconds."""
+        if self.slow_factor != 1.0:
+            service_time *= self.slow_factor
         yield self.acquire()
         try:
             yield Timeout(service_time)

@@ -5,6 +5,12 @@ issue synchronous calls (``result = yield ep.call(...)``) or asynchronous ones
 (collect the future, yield later), exactly the ``RPC_sync/async`` notation of
 Algorithm 1.  Crashed endpoints silently drop requests, so callers observe
 timeouts — the failure signal that drives the paper's failover path.
+
+Gray-failure injection: ``RpcEndpoint.degrade`` is an optional
+:class:`EndpointDegradation` applied server-side to every inbound request —
+a fixed processing lag, a seeded jitter component (clock slew), and a request
+drop probability.  ``None`` by default; the fault-free request path pays one
+attribute check.
 """
 
 from __future__ import annotations
@@ -15,7 +21,13 @@ from typing import Any, Callable, Dict, Optional
 from repro.sim.core import Future, SimError, Simulator
 from repro.sim.network import Network
 
-__all__ = ["RemoteError", "RpcEndpoint", "RpcError", "RpcTimeout"]
+__all__ = [
+    "EndpointDegradation",
+    "RemoteError",
+    "RpcEndpoint",
+    "RpcError",
+    "RpcTimeout",
+]
 
 
 class RpcError(SimError):
@@ -36,6 +48,40 @@ class RemoteError(RpcError):
         self.cause = cause
 
 
+class EndpointDegradation:
+    """Server-side gray-failure knobs for one endpoint.
+
+    ``lag`` delays every inbound request by a fixed amount; ``jitter`` adds a
+    uniform ``[0, jitter)`` component drawn from ``rng`` (the chaos
+    controller's seeded RNG — clock-slew semantics); ``drop_rate`` loses the
+    request entirely (the caller's timeout fires).
+    """
+
+    __slots__ = ("lag", "jitter", "drop_rate", "rng")
+
+    def __init__(
+        self,
+        lag: float = 0.0,
+        jitter: float = 0.0,
+        drop_rate: float = 0.0,
+        rng=None,
+    ):
+        if (jitter > 0.0 or drop_rate > 0.0) and rng is None:
+            raise SimError(
+                "EndpointDegradation with jitter or drop_rate needs an rng "
+                "(pass a seeded random.Random so runs stay deterministic)"
+            )
+        self.lag = lag
+        self.jitter = jitter
+        self.drop_rate = drop_rate
+        self.rng = rng
+
+    def sample_lag(self) -> float:
+        if self.jitter > 0.0:
+            return self.lag + self.jitter * self.rng.random()
+        return self.lag
+
+
 class RpcEndpoint:
     """A network-addressable actor with registered method handlers.
 
@@ -52,6 +98,8 @@ class RpcEndpoint:
         self.address = address
         self.region = region
         self.crashed = False
+        #: Optional :class:`EndpointDegradation`; ``None`` on healthy nodes.
+        self.degrade: Optional[EndpointDegradation] = None
         self._handlers: Dict[str, Callable] = {}
         self._live_processes: set = set()
         self.requests_served = 0
@@ -118,10 +166,14 @@ class RpcEndpoint:
 
         def reply(value: Any, exc: Optional[BaseException]) -> None:
             # Response travels back over the network.
-            self.network.deliver(target.region, self.region, respond, value, exc)
+            self.network.deliver_addr(
+                target.region, self.region, address, self.address,
+                respond, value, exc,
+            )
 
-        self.network.deliver(
-            self.region, target.region, target._on_request, method, args, reply
+        self.network.deliver_addr(
+            self.region, target.region, self.address, address,
+            target._on_request, method, args, reply,
         )
         return fut
 
@@ -130,13 +182,30 @@ class RpcEndpoint:
         target = self.network.endpoints.get(address)
         if target is None or self.crashed:
             return
-        self.network.deliver(
-            self.region, target.region, target._on_request, method, args, None
+        self.network.deliver_addr(
+            self.region, target.region, self.address, address,
+            target._on_request, method, args, None,
         )
 
     # -- server side ---------------------------------------------------------
 
     def _on_request(
+        self,
+        method: str,
+        args: tuple,
+        reply: Optional[Callable[[Any, Optional[BaseException]], None]],
+    ) -> None:
+        degrade = self.degrade
+        if degrade is not None:
+            if degrade.drop_rate and degrade.rng.random() < degrade.drop_rate:
+                return  # gray failure: request lost inside the node
+            lag = degrade.sample_lag()
+            if lag > 0.0:
+                self.sim.timer(lag, self._serve, method, args, reply)
+                return
+        self._serve(method, args, reply)
+
+    def _serve(
         self,
         method: str,
         args: tuple,

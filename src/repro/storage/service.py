@@ -12,7 +12,10 @@ API over RPC:
 
 The storage tier is modeled as highly available and horizontally scalable
 (requests add latency but never queue), matching the paper's assumption that
-only compute nodes fail.
+only compute nodes fail.  The one fault the chaos engine injects here is a
+*stall window* (:meth:`StorageService.stall`): a brownout during which every
+request blocks until the window passes — queued IO completing in a burst —
+without losing durability.
 """
 
 from __future__ import annotations
@@ -59,6 +62,8 @@ class StorageService:
         self.endpoint = RpcEndpoint(sim, network, address, region)
         self.appends_served = 0
         self.reads_served = 0
+        #: Brownout deadline: requests in flight before this time stall.
+        self.stalled_until = 0.0
         for method in (
             "append",
             "append_batch",
@@ -86,6 +91,17 @@ class StorageService:
     def log(self, name: str) -> SharedLog:
         return self.logs[name]
 
+    # -- fault injection ------------------------------------------------------
+
+    def stall(self, duration: float) -> None:
+        """Open (or extend) a brownout window ``duration`` seconds long."""
+        self.stalled_until = max(self.stalled_until, self.sim.now + duration)
+
+    def _service_delay(self, base: float) -> float:
+        """Base service latency, stretched to the end of any stall window."""
+        stall = self.stalled_until - self.sim.now
+        return base + stall if stall > 0.0 else base
+
     # -- RPC handlers ---------------------------------------------------------
 
     def _h_append(
@@ -97,7 +113,7 @@ class StorageService:
         expected_lsn: Optional[int],
         participants: tuple = (),
     ):
-        yield Timeout(self.append_latency)
+        yield Timeout(self._service_delay(self.append_latency))
         self.appends_served += 1
         result = self.logs[log_name].append(
             txn_id, kind, entries, expected_lsn, participants
@@ -110,39 +126,39 @@ class StorageService:
         bodies: list,
         expected_lsn: Optional[int],
     ):
-        yield Timeout(self.append_latency)
+        yield Timeout(self._service_delay(self.append_latency))
         self.appends_served += 1
         return self.logs[log_name].append_batch(bodies, expected_lsn)
 
     def _h_create_log(self, log_name: str):
-        yield Timeout(self.append_latency)
+        yield Timeout(self._service_delay(self.append_latency))
         self.create_log(log_name)
         return True
 
     def _h_read_log(self, log_name: str, from_lsn: int):
-        yield Timeout(self.read_latency)
+        yield Timeout(self._service_delay(self.read_latency))
         self.reads_served += 1
         return list(self.logs[log_name].read_from(from_lsn))
 
     def _h_log_end_lsn(self, log_name: str):
-        yield Timeout(self.read_latency)
+        yield Timeout(self._service_delay(self.read_latency))
         return self.logs[log_name].end_lsn
 
     def _h_check_lsn(self, log_name: str, expected_lsn: int):
         """Read-only CAS probe: (matches, current_lsn).  Used by read-only
         MarlinCommit validation (ScanGTableTxn) which must not advance LSNs."""
-        yield Timeout(self.read_latency)
+        yield Timeout(self._service_delay(self.read_latency))
         current = self.logs[log_name].end_lsn
         return (current == expected_lsn, current)
 
     def _h_get_page(self, table: str, key: object, log_name: str, lsn: int):
-        yield Timeout(self.read_latency)
+        yield Timeout(self._service_delay(self.read_latency))
         self.reads_served += 1
         yield self.replay.wait_applied(log_name, lsn)
         return self.pagestore.get(table, key)
 
     def _h_scan_table(self, table: str, log_name: Optional[str], lsn: int):
-        yield Timeout(self.read_latency)
+        yield Timeout(self._service_delay(self.read_latency))
         self.reads_served += 1
         if log_name is not None:
             yield self.replay.wait_applied(log_name, lsn)
@@ -150,7 +166,7 @@ class StorageService:
 
     def _h_txn_outcome(self, log_name: str, txn_id: str):
         """Termination-protocol probe: (outcome, voted) for ``txn_id``."""
-        yield Timeout(self.read_latency)
+        yield Timeout(self._service_delay(self.read_latency))
         log = self.logs[log_name]
         outcome = log.txn_outcome(txn_id)
         voted = any(

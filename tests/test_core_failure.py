@@ -2,9 +2,11 @@
 
 import pytest
 
+from repro.chaos import Partition
 from repro.core.failure import RingFailureDetector, run_failover
 from repro.core.invariants import check_invariants, check_view_consistency
 from repro.engine.node import SYSLOG
+from repro.storage.log import RecordKind
 from tests.conftest import make_cluster, run_gen
 
 
@@ -103,6 +105,62 @@ class TestEndToEndDetection:
         cluster.run(until=5.0)
         assert cluster.metrics.failovers == []
         assert sorted(cluster.ground_truth_mtable()) == [0, 1, 2]
+
+    def test_asymmetric_partition_fences_not_double_owns(self):
+        """A node unreachable from its monitors but still reachable from
+        storage keeps appending to its GLog — RecoveryMigrTxn's CAS on that
+        same GLog must fence it, never yielding a double-owned granule."""
+        cluster = make_cluster(
+            "marlin", num_nodes=3, num_keys=3072, seed=33,
+            failure_detection=True,
+        )
+        cluster.run(until=0.5)
+        victim = cluster.nodes[1]
+        # The victim's own monitoring is beside the point here (and under an
+        # asymmetric partition its probes would miss too, racing a failover
+        # in the opposite direction); stop it so the test pins exactly one
+        # recovery direction: monitors fencing the victim.
+        cluster.detectors.pop(1).stop()
+        # Inbound-only partition: peers cannot reach node 1, node 1 can still
+        # send — and storage is in no group, so its WAL stays writable.
+        event = Partition(groups=((1,), (0, 2)), symmetric=False)
+        cluster.chaos.inject(event)
+        owned_before = victim.owned_granules()
+        assert owned_before
+        # The victim keeps committing to its GLog through the partition.
+        pre_fence = victim.committer.submit(
+            "gray-pre-fence", RecordKind.COMMIT_DATA, ()
+        )
+        cluster.run(until=1.0)
+        assert pre_fence.result().ok  # storage reachable, CAS still current
+        # Monitors miss 3 heartbeats and run the failover.
+        cluster.run(until=8.0)
+        assert cluster.metrics.failovers
+        assert cluster.metrics.failovers[0][1] == 1
+        assert 1 not in cluster.ground_truth_mtable()
+        # Alive, stale, and still claiming its granules...
+        assert not victim.frozen
+        assert victim.owned_granules() == owned_before
+        # ...but fenced: the recovery's append into glog-1 broke its CAS.
+        fenced = victim.committer.submit(
+            "gray-post-fence", RecordKind.COMMIT_DATA, ()
+        )
+        cluster.run(until=cluster.sim.now + 1.0)
+        assert not fenced.result().ok
+        # ClearMetaCache + refresh: the victim discovers it owns nothing.
+        run_gen(cluster, victim.runtime.handle_cas_failure(victim.glog))
+        run_gen(cluster, victim.runtime.handle_cas_failure(SYSLOG))
+        assert victim.owned_granules() == []
+        assert 1 not in victim.mtable
+        cluster.chaos.clear(event)
+        cluster.settle(0.5)
+        # No double ownership anywhere: ground truth and live views agree.
+        check_invariants(
+            cluster.ground_truth_gtable(), cluster.gmap.num_granules,
+            cluster.ground_truth_mtable(),
+        )
+        live = [cluster.nodes[n] for n in cluster.live_node_ids()]
+        check_view_consistency(live, cluster.gmap.num_granules)
 
     def test_revived_node_is_fenced(self):
         """After failover, the revived node cannot commit on stolen granules."""

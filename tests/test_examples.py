@@ -26,4 +26,19 @@ def test_example_runs(script):
 def test_examples_exist():
     names = {p.stem for p in EXAMPLES}
     assert "quickstart" in names
+    assert "chaos_partition" in names
     assert len(names) >= 3
+
+
+def test_chaos_partition_prints_recovery_timeline():
+    script = next(p for p in EXAMPLES if p.stem == "chaos_partition")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "-- fault timeline --" in proc.stdout
+    assert "-- recovery timeline --" in proc.stdout
+    assert "invariants hold" in proc.stdout

@@ -46,6 +46,26 @@ class TestScenarioRunner:
         assert result.metrics.total_committed > 0
         assert result.scale_summaries and result.scale_summaries[0]["migrated"] > 0
 
+    def test_scenario_runs_under_fault_schedule(self):
+        """Any figure scenario can run under any FaultSchedule (ISSUE 2)."""
+        from repro.chaos import storage_brownout
+
+        result = run_scale_out_scenario(
+            "marlin",
+            initial_nodes=2,
+            added_nodes=2,
+            clients=6,
+            granules=128,
+            scale_at=1.0,
+            tail=2.0,
+            seed=SEED,
+            fault_schedule=storage_brownout("us-west", at=1.2, stall=0.3),
+        )
+        assert result.scale_summaries and result.scale_summaries[0]["migrated"] > 0
+        chaos = result.cluster.chaos
+        assert [phase for _t, phase, _e in chaos.fault_log] == ["inject", "clear"]
+        chaos.verify_quiescent()
+
     def test_cost_report_nonzero(self):
         result = run_scale_out_scenario(
             "zk-small",

@@ -7,8 +7,14 @@ implementation instead of the abstract state machine.
 
 import pytest
 
+from repro.chaos import (
+    FaultSchedule,
+    Partition,
+    SlowNode,
+    StorageStall,
+)
 from repro.core.invariants import check_invariants, check_view_consistency
-from repro.engine.node import GTABLE
+from repro.engine.node import GTABLE, SYSLOG
 from repro.storage.log import RecordKind
 from tests.conftest import make_cluster, run_gen
 from tests.test_workload_client import start_clients
@@ -155,6 +161,110 @@ class TestCrashWindows:
         quiesce_and_check(cluster)
         # Commits continued after the failover.
         assert cluster.metrics.total_committed > committed_mid
+
+
+class TestScheduleDriven:
+    """Declarative FaultSchedules driving whole-cluster scenarios (ISSUE 2).
+
+    Each scenario ends with the full quiescence invariant suite after every
+    scheduled fault has cleared and recovery has settled.
+    """
+
+    def test_partition_during_scale_out(self):
+        """Node 1 loses its monitor mid-scale-out; it must be fenced through
+        its GLog (RecoveryMigrTxn CAS) while the scale-out still completes."""
+        cluster = make_cluster(
+            "marlin", num_nodes=3, num_keys=3072, seed=31,
+            failure_detection=True,
+        )
+        cluster.run(until=0.2)
+        _router, clients = start_clients(cluster, count=4, request_timeout=0.3)
+        # Sever node 1 from its ring monitor (node 0) for long enough that
+        # three heartbeats miss; clients and storage stay reachable, so the
+        # "dead" node keeps committing until the recovery fences its WAL.
+        schedule = FaultSchedule().at(
+            1.0, Partition(groups=((1,), (0,)), duration=4.0)
+        )
+        sched = cluster.chaos.run_schedule(schedule)
+        proc = cluster.sim.spawn(cluster.scale_out(1), daemon=True)
+        cluster.sim.run_until(proc.result, limit=120.0)
+        cluster.sim.run_until(sched.result, limit=120.0)
+        cluster.run(until=max(12.0, cluster.sim.now + 4.0))
+        for c in clients:
+            c.stop()
+        assert cluster.metrics.failovers
+        assert cluster.metrics.failovers[0][1] == 1
+        assert 1 not in cluster.ground_truth_mtable()
+        # The fenced node refreshed through its CAS failure and now claims
+        # nothing, so live views cannot overlap.
+        assert cluster.nodes[1].owned_granules() == []
+        quiesce_and_check(cluster)
+        assert cluster.metrics.total_committed > 50
+
+    def test_gray_failure_during_failover(self):
+        """A slow-but-alive node (heartbeat replies starved past the detector
+        timeout) is failed over and fenced — not double-owned."""
+        cluster = make_cluster(
+            "marlin", num_nodes=3, num_keys=3072, seed=32,
+            failure_detection=True,
+        )
+        cluster.run(until=0.2)
+        _router, clients = start_clients(cluster, count=4, request_timeout=0.3)
+        schedule = FaultSchedule().at(
+            1.0,
+            SlowNode(node=2, cpu_factor=16.0, rpc_lag=0.4, duration=6.0),
+        )
+        sched = cluster.chaos.run_schedule(schedule)
+        cluster.sim.run_until(sched.result, limit=120.0)
+        cluster.run(until=max(12.0, cluster.sim.now + 4.0))
+        assert cluster.metrics.failovers
+        assert cluster.metrics.failovers[0][1] == 2
+        assert 2 not in cluster.ground_truth_mtable()
+        # The gray node never crashed; once healthy again it must discover it
+        # owns nothing (ClearMetaCache after its fenced CAS).
+        victim = cluster.nodes[2]
+        assert not victim.frozen
+        run_gen(cluster, victim.runtime.handle_cas_failure(victim.glog))
+        run_gen(cluster, victim.runtime.handle_cas_failure(SYSLOG))
+        assert victim.owned_granules() == []
+        for c in clients:
+            c.stop()
+        quiesce_and_check(cluster)
+
+    def test_storage_stall_during_migration(self):
+        """A storage brownout mid-migration-storm delays but never corrupts:
+        every move lands exactly once and the invariants hold."""
+        cluster = make_cluster("marlin", num_nodes=2, num_keys=4096, seed=33)
+        cluster.run(until=0.1)
+        schedule = (
+            FaultSchedule()
+            .at(0.3, StorageStall(region="us-west", duration=0.5))
+            .at(1.1, StorageStall(region="us-west", duration=0.3))
+        )
+        sched = cluster.chaos.run_schedule(schedule)
+        moves = tuple((g, 1) for g in cluster.nodes[1].owned_granules())
+        fut = cluster.admin.call("node-0", "run_migrations", moves)
+        cluster.sim.run_until(fut, limit=120.0)
+        cluster.sim.run_until(sched.result, limit=120.0)
+        assert fut.result()["count"] == len(moves)
+        assert fut.result()["failed"] == 0
+        quiesce_and_check(cluster)
+        assert set(cluster.nodes[0].owned_granules()) == set(
+            range(cluster.gmap.num_granules)
+        )
+
+    def test_verify_quiescent_runs_inside_schedule(self):
+        """run_schedule(verify_after=...) folds the invariant check into the
+        schedule process itself: its result only resolves on a clean run."""
+        cluster = make_cluster("marlin", num_nodes=2, num_keys=2048, seed=34)
+        cluster.run(until=0.1)
+        schedule = FaultSchedule().at(
+            0.5, StorageStall(region="us-west", duration=0.4)
+        )
+        proc = cluster.chaos.run_schedule(schedule, verify_after=1.0)
+        log = cluster.sim.run_until(proc.result, limit=30.0)
+        assert [phase for _t, phase, _e in log] == ["inject", "clear"]
+        assert cluster.sim.now >= 1.9  # 0.5 + 0.4 + verify_after
 
 
 class TestBaselineParity:

@@ -6,6 +6,12 @@ golden numbers below were captured from a small fig9-style scale-out run on
 the pre-fast-path kernel (commit c9e412c); any scheduler change that alters
 event order, RNG draw order, or metrics accounting shows up here as a hard
 failure, not a statistical drift.
+
+Re-captured for PR 2 after fixing the ``run(until)`` deadline overshoot
+(``_next_event_time`` now prunes cancelled heap/ready entries instead of
+reporting their times): the re-captured values are identical to the
+pre-fast-path goldens — this run never hits the overshoot window — so the
+constants below are unchanged and now also pin the fixed-deadline kernel.
 """
 
 import pytest

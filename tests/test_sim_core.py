@@ -72,6 +72,38 @@ class TestScheduling:
         sim.run()
         assert seen == ["early", "late"]
 
+    def test_run_until_not_overshot_by_cancelled_heap_top(self, sim):
+        """A cancelled timer at the heap top must not drag the clock past
+        ``until`` (the pre-PR-2 seed-kernel overshoot; ROADMAP trade-off)."""
+        seen = []
+        cancelled = sim.call_after(5.0, lambda: seen.append("cancelled"))
+        sim.call_after(20.0, lambda: seen.append("late"))
+        cancelled.cancel()
+        sim.run(until=10.0)
+        assert seen == []
+        assert sim.now == 10.0
+        sim.run()
+        assert seen == ["late"]
+        assert sim.now == 20.0
+
+    def test_run_until_not_overshot_by_cancelled_ready_entry(self, sim):
+        seen = []
+        sim.call_after(1.0, lambda: seen.append("early"))
+        sim.call_after(9.0, lambda: sim.call_soon(lambda: seen.append("x")).cancel())
+        sim.call_after(20.0, lambda: seen.append("late"))
+        sim.run(until=10.0)
+        assert seen == ["early"]
+        assert sim.now == 10.0
+
+    def test_run_until_limit_honours_cancellation_pruning(self, sim):
+        """run_until's deadline probe must also skip cancelled heap tops."""
+        fut = sim.event(name="target")
+        sim.call_after(3.0, lambda: seen.cancel())
+        seen = sim.call_after(4.0, lambda: None)
+        sim.call_after(8.0, fut.resolve)
+        assert sim.run_until(fut, limit=8.0) is None
+        assert sim.now == 8.0
+
     def test_nested_scheduling(self, sim):
         seen = []
         sim.call_after(1.0, lambda: sim.call_after(1.0, lambda: seen.append(sim.now)))
