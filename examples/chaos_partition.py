@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Scale-out under a rolling network partition (the chaos engine, ISSUE 2).
+"""Scale-out under a rolling network partition (the chaos engine, ISSUE 2/3).
 
 A three-node Marlin cluster doubles down on the paper's coordination claim
 under messier faults than a crash: while a scale-out (with a 1 s VM
@@ -11,12 +11,16 @@ control-plane partition.
   are *tolerated*: heartbeats miss once or twice, nobody is fenced, and the
   in-flight migrations just retry through their timeouts.
 * The long partition on node 1 crosses the threshold — and cuts *both*
-  ways: node 1's monitor fences node 1 through its GLog (RecoveryMigrTxn),
-  while the isolated node 1, whose own probes also time out, symmetrically
-  fences its successor through still-reachable storage.  Every one of those
-  competing recoveries serializes through GLog/SysLog CAS, so ownership
-  stays exclusive no matter who wins which race.
-* When the partition heals, each fenced-but-alive node's next conditional
+  ways: node 1's monitor suspects node 1, while the isolated node 1, whose
+  own probes also time out, symmetrically suspects its ring successor
+  through still-reachable storage.  The suspicion-vote gate (§4.4.2's
+  deferred optimization, ``core/suspicion.py``) resolves the race through
+  the totally ordered SysLog: both sides commit a suspicion vote, wait one
+  probe interval, and re-read MTable — node 1 sees the vote against
+  *itself* and stands down, so only the genuinely unreachable node is
+  fenced.  (Before the gate, node 1 would wastefully fence its healthy
+  successor too — the mutual-fencing cascade.)
+* When the partition heals, the fenced-but-alive node's next conditional
   append fails, it clears its metadata caches, sees what it really owns,
   and rejoins as a fresh member.
 
@@ -27,6 +31,11 @@ this timeline is bit-identical on every execution.
 from repro import Client, Cluster, ClusterConfig, Router, YcsbWorkload
 from repro.chaos import FaultSchedule, Partition
 from repro.engine.node import SYSLOG
+
+
+def members_of(mtable):
+    """Integer member ids (MTable also carries suspicion-vote rows)."""
+    return sorted(k for k in mtable if isinstance(k, int))
 
 
 def main():
@@ -89,11 +98,13 @@ def main():
         print("  (no failovers)")
     for t, dead, granules in cluster.metrics.failovers:
         print(f"  t={t:5.2f}s failover: node {dead} fenced, lost {granules} granules")
+    stand_downs = sum(d.stand_downs for d in cluster.detectors.values())
+    print(f"  suspicion-vote stand-downs (cascades averted): {stand_downs}")
     fenced = sorted(
         nid for nid in cluster.nodes
-        if nid not in cluster.ground_truth_mtable()
+        if nid not in members_of(cluster.ground_truth_mtable())
     )
-    print(f"  membership after chaos: {sorted(cluster.ground_truth_mtable())} "
+    print(f"  membership after chaos: {members_of(cluster.ground_truth_mtable())} "
           f"(fenced but alive: {fenced})")
 
     for nid in fenced:
@@ -117,7 +128,7 @@ def main():
         client.stop()
     cluster.settle(0.5)
     chaos.verify_quiescent()
-    print(f"\ninvariants hold; membership {sorted(cluster.ground_truth_mtable())}; "
+    print(f"\ninvariants hold; membership {members_of(cluster.ground_truth_mtable())}; "
           f"total committed through the chaos: {cluster.metrics.total_committed}")
 
 

@@ -5,16 +5,21 @@ Runs the identical YCSB scale-out (4 -> 8 nodes under load) with all four
 coordination mechanisms and prints the paper's key metrics side by side:
 migration duration and throughput, user abort ratio, and the cost split
 (Marlin's Meta Cost is zero; the baselines pay for a coordination cluster).
+
+Each run is a declarative :class:`ScenarioSpec` — the same ~10 lines of data
+serialized to JSON would reproduce it via
+``python -m repro.experiments run <spec.json>``.
 """
 
-from repro.experiments.harness import run_scale_out_scenario, SYSTEM_LABELS
+from repro.experiments import run_spec, scale_out_spec
+from repro.experiments.harness import SYSTEM_LABELS
 
 
 def main():
     print(f"{'system':8} {'migr_dur(s)':>12} {'migr/s':>8} {'aborts':>8} "
           f"{'db_cost($)':>11} {'meta($)':>9} {'$/Mtxn':>9}")
     for system in ("marlin", "zk-small", "zk-large", "fdb"):
-        result = run_scale_out_scenario(
+        spec = scale_out_spec(
             system,
             initial_nodes=4,
             added_nodes=4,
@@ -24,6 +29,7 @@ def main():
             tail=4.0,
             seed=11,
         )
+        result = run_spec(spec)
         report = result.cost
         duration = result.migration_duration
         migrations = result.metrics.total_migrations

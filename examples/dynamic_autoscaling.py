@@ -5,53 +5,53 @@ Client load doubles, holds, then drops; the autoscaler scales the Marlin
 cluster out and back in.  Fast reconfiguration is what makes autoscaling pay:
 nodes are released soon after the burst ends, so the realtime cost tracks the
 load curve.
+
+The whole timeline is one declarative :class:`ScenarioSpec` — base clients
+from warmup, an ``autoscaler`` phase, a burst ``clients_start`` /
+``clients_stop`` pair — executed by ``run_spec``; serialized to JSON it
+reproduces byte-identically via ``python -m repro.experiments run``.
 """
 
-from repro import Autoscaler, Cluster, ClusterConfig
-from repro.experiments.harness import start_clients
+from repro.experiments import (
+    PhaseSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    run_spec,
+)
+
+BURST_AT, DROP_AT, END_AT = 5.0, 20.0, 35.0
 
 
 def main():
-    config = ClusterConfig(
-        coordination="marlin",
-        num_nodes=4,
-        num_keys=4 * 400 * 64,
-        keys_per_granule=64,
-        seed=21,
+    spec = ScenarioSpec(
+        name="dynamic-autoscaling-demo",
+        topology=TopologySpec(nodes=4, coordination="marlin", node_params="default"),
+        workload=WorkloadSpec(kind="ycsb", clients=16, granules=4 * 400,
+                              client_seed_factor=100),
+        phases=[
+            PhaseSpec(at=0.1, action="autoscaler", params={
+                "interval": 1.0, "clients_per_node": 4,
+                "min_nodes": 4, "max_nodes": 8, "cooldown": 2.0,
+            }),
+            PhaseSpec(at=BURST_AT, action="clients_start", params={
+                "pool": "burst", "count": 16, "seed_factor": 200,
+                "bind_to_nodes": [0, 1, 2, 3],
+            }),
+            PhaseSpec(at=DROP_AT, action="clients_stop", params={"pool": "burst"}),
+        ],
+        seed=1,
+        duration=END_AT,
+        check_invariants=False,
     )
-    cluster = Cluster(config)
-    cluster.run(until=0.1)
-
-    router, base_clients = start_clients(cluster, 16, "ycsb", seed=100)
-    scaler = Autoscaler(
-        cluster, router=router, interval=1.0,
-        clients_per_node=4, min_nodes=4, max_nodes=8, cooldown=2.0,
-    )
-    scaler.start()
-
-    print("t=0s   : 16 clients on 4 nodes")
-    cluster.run(until=5.0)
-
-    print("t=5s   : burst to 32 clients")
-    _router2, burst = start_clients(
-        cluster, 16, "ycsb", seed=200, bind_to_nodes=list(range(4))
-    )
-    cluster.client_count = 32
-    cluster.run(until=20.0)
-
-    print("t=20s  : burst ends")
-    for client in burst:
-        client.stop()
-    cluster.client_count = 16
-    cluster.run(until=35.0)
-
-    for client in base_clients:
-        client.stop()
-    scaler.stop()
-    cluster.settle()
+    print(f"t=0s   : 16 clients on 4 nodes")
+    print(f"t={BURST_AT:.0f}s   : burst to 32 clients")
+    print(f"t={DROP_AT:.0f}s  : burst ends")
+    result = run_spec(spec)
+    cluster = result.cluster
 
     print("\nscaling actions:")
-    for event in cluster.scale_events:
+    for event in result.scale_summaries:
         what = event.get("new_nodes") or event.get("removed")
         print(
             f"  t={event['start']:6.2f}s {event['kind']:<9} nodes={what} "
@@ -60,13 +60,13 @@ def main():
 
     print("\nrealtime cost ($/s, sampled every 5s):")
     series = cluster.cost_model.realtime_cost_series(
-        cluster.metrics, until=35.0, bucket=5.0
+        cluster.metrics, until=END_AT, bucket=5.0
     )
     for t, dollars in series:
         bar = "#" * int(dollars * 3600 / 0.192 * 2)
         print(f"  t={t:5.1f}s {dollars * 3600:7.3f} $/hr {bar}")
 
-    report = cluster.price(35.0)
+    report = cluster.price(END_AT)
     print(f"\ntotal cost ${report.total:.4f} for {report.committed} txns")
 
 

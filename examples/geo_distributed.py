@@ -7,7 +7,8 @@ lives with the data, so migrations never leave their region — the baselines
 pay a cross-region round trip per ownership update.
 """
 
-from repro.experiments.harness import SYSTEM_LABELS, run_scale_out_scenario
+from repro.experiments import run_spec, scale_out_spec
+from repro.experiments.harness import SYSTEM_LABELS
 from repro.sim.network import AZURE_REGIONS
 
 
@@ -15,7 +16,7 @@ def main():
     print(f"regions: {', '.join(AZURE_REGIONS)} (coordination pinned in us-west)\n")
     durations = {}
     for system in ("marlin", "zk-small", "fdb"):
-        result = run_scale_out_scenario(
+        spec = scale_out_spec(
             system,
             initial_nodes=4,            # one per region
             added_nodes=4,              # doubles each region
@@ -26,6 +27,7 @@ def main():
             regions=tuple(AZURE_REGIONS),
             seed=17,
         )
+        result = run_spec(spec)
         durations[system] = result.migration_duration
         cross_region = result.cluster.network.messages_sent
         print(

@@ -11,8 +11,11 @@ Public API quick map:
   transactions, ring failure detection, invariants, and the executable TLA+
   migration model.
 * :mod:`repro.workload` — YCSB and TPC-C generators plus closed-loop clients.
-* :mod:`repro.experiments` — ``fig8`` … ``fig15``: one module per figure in
-  the paper's evaluation, each regenerating its table/series.
+* :mod:`repro.experiments` — the declarative experiment API
+  (:class:`ScenarioSpec` / ``Sweep`` / SLO probes, run by ``run_spec``; see
+  EXPERIMENTS.md) plus ``fig7`` … ``fig15``: one module per evaluation
+  figure, each regenerating its table/series as thin specs.
+  ``python -m repro.experiments`` runs them from the CLI.
 * :mod:`repro.chaos` — deterministic fault injection: typed fault events,
   declarative :class:`FaultSchedule` timelines and the seeded
   :class:`ChaosController` (see CHAOS.md).

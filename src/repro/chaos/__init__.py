@@ -32,6 +32,7 @@ from repro.chaos.events import (
     StorageStall,
 )
 from repro.chaos.scenarios import (
+    coordination_outage,
     crash_restart_cycle,
     flaky_link,
     gray_failure,
@@ -51,6 +52,7 @@ __all__ = [
     "Restart",
     "SlowNode",
     "StorageStall",
+    "coordination_outage",
     "crash_restart_cycle",
     "flaky_link",
     "gray_failure",

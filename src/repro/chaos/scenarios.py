@@ -21,12 +21,40 @@ from repro.chaos.events import (
 )
 
 __all__ = [
+    "coordination_outage",
     "crash_restart_cycle",
     "flaky_link",
     "gray_failure",
     "rolling_partition",
     "storage_brownout",
 ]
+
+
+def coordination_outage(
+    node_ids: Sequence[int],
+    at: float = 1.0,
+    duration: float = 2.0,
+    service: str = "zk",
+    extra_endpoints: Sequence[str] = (),
+) -> FaultSchedule:
+    """Partition the external coordination service endpoint itself.
+
+    The ``Cluster.service`` actor (``"zk"`` or ``"fdb"``) is just another
+    addressable endpoint, so it can be isolated like any node: every compute
+    node in ``node_ids`` (plus any ``extra_endpoints``, e.g. ``"admin"``)
+    loses the service for ``duration`` seconds while peers, storage and
+    clients stay connected.  The baselines' *data* path survives — user
+    transactions never touch the service — but every reconfiguration
+    (AddNodeTxn, MigrationTxn ownership updates, failover arbitration)
+    stalls until the partition heals.  Marlin has no such endpoint to lose;
+    that asymmetry is the paper's availability argument in schedule form.
+    """
+    members = tuple(node_ids) + tuple(extra_endpoints)
+    if not members:
+        raise ValueError("coordination_outage needs at least one endpoint to cut off")
+    return FaultSchedule().at(
+        at, Partition(groups=((service,), members), duration=duration)
+    )
 
 
 def rolling_partition(

@@ -194,6 +194,7 @@ class Cluster:
             interval=self.config.detector_interval,
             timeout=self.config.detector_timeout,
             miss_threshold=self.config.detector_misses,
+            vote_gate=self.config.detector_vote_gate,
         )
         detector.start()
         self.detectors[node_id] = detector

@@ -62,6 +62,11 @@ class ClusterConfig:
     detector_interval: float = 0.5
     detector_timeout: float = 0.25
     detector_misses: int = 3
+    #: Gate RecoveryMigrTxn on a suspicion vote (core/suspicion.py): a
+    #: monitor that the refreshed MTable shows is itself suspected (or
+    #: already fenced) stands down instead of fencing its ring successor
+    #: through still-reachable storage.
+    detector_vote_gate: bool = True
     #: Simulated VM provisioning delay when scaling out.
     provision_delay: float = 0.0
     #: Storage-side latencies (Azure Append Blob / Table Storage class).

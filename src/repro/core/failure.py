@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Generator, List, Set
 
 from repro.core.reconfig import NodeNotExistError
-from repro.engine.node import GTABLE, MTABLE, glog_name
+from repro.engine.node import GTABLE, MTABLE, SYSLOG, glog_name
 from repro.engine.txn import TxnAborted
 from repro.sim.core import Timeout
 from repro.sim.rpc import RpcError, RpcTimeout
@@ -64,7 +64,17 @@ def run_failover(runtime: "MarlinRuntime", dead_id: int) -> Generator:
 
 
 class RingFailureDetector:
-    """Per-node heartbeat monitor over the MTable ring."""
+    """Per-node heartbeat monitor over the MTable ring.
+
+    With ``vote_gate`` on, a monitor records a suspicion vote in MTable (a
+    regular SysLog MarlinCommit, see :mod:`repro.core.suspicion`) *before*
+    running RecoveryMigrTxn, and stands down when the refreshed MTable shows
+    the cluster suspects the monitor itself (or has already fenced it).
+    That breaks the mutual-fencing cascade: a symmetrically-partitioned node
+    — whose own probes all time out while storage stays reachable — sees the
+    vote its healthy peers committed against *it* land first in the totally
+    ordered SysLog, retracts, and leaves its (healthy) ring successor alone.
+    """
 
     def __init__(
         self,
@@ -73,15 +83,23 @@ class RingFailureDetector:
         timeout: float = 0.25,
         miss_threshold: int = 3,
         successors: int = 1,
+        vote_gate: bool = False,
+        # Only votes this recent count at the gate: long enough to cover the
+        # vote -> confirmation-window -> re-check race (~interval + commit),
+        # short enough that a stale row cannot stall a live failover for long.
+        vote_window: float = 3.0,
     ):
         self.runtime = runtime
         self.interval = interval
         self.timeout = timeout
         self.miss_threshold = miss_threshold
         self.successors = successors
+        self.vote_gate = vote_gate
+        self.vote_window = vote_window
         self._misses: Dict[int, int] = {}
         self._handling: Set[int] = set()
         self.failovers_started = 0
+        self.stand_downs = 0
         self._proc = None
 
     def start(self) -> None:
@@ -131,11 +149,80 @@ class RingFailureDetector:
                             name=f"failover-{node.node_id}-of-{target}",
                         )
 
-    def _run_failover(self, dead_id: int):
+    def _run_failover(self, dead_id: int, max_attempts: int = 8):
+        node = self.runtime.node
         try:
-            yield from run_failover(self.runtime, dead_id)
-        except TxnAborted:
-            pass  # lost the race to another recovering node; harmless
+            if self.vote_gate:
+                proceed = yield from self._vote_gate_check(dead_id)
+                if not proceed:
+                    self.stand_downs += 1
+                    return
+            # RecoveryMigrTxn can lose lock races against in-flight
+            # migrations that involve the dead node; retry with jittered
+            # backoff inside this detection cycle rather than waiting for
+            # the miss counter to refill (which can phase-lock with the
+            # migration retry cadence and starve recovery indefinitely).
+            for attempt in range(max_attempts):
+                try:
+                    yield from run_failover(self.runtime, dead_id)
+                    break
+                except TxnAborted:
+                    # Either another recoverer won outright (harmless), or a
+                    # transient lock conflict: back off and re-check.
+                    if (
+                        attempt + 1 >= max_attempts
+                        or dead_id not in node.member_ids()
+                    ):
+                        return
+                    yield Timeout((0.25 + node.sim.rng.random()) * self.interval)
+            if self.vote_gate:
+                from repro.core.suspicion import clear_votes
+
+                yield from clear_votes(self.runtime, dead_id)
         finally:
             self._handling.discard(dead_id)
             self._misses.pop(dead_id, None)
+
+    def _vote_gate_check(self, dead_id: int):
+        """Commit a suspicion vote; stand down if the cluster suspects *us*.
+
+        The vote's CAS append forces this node's MTable view up to the
+        SysLog tail, so a symmetrically-partitioned monitor voting through
+        still-reachable storage observes (a) any earlier vote against itself
+        and (b) its own eviction, in total order — whichever side's vote
+        lands second is the one that backs off, so exactly one direction of
+        a mutual suspicion proceeds to RecoveryMigrTxn.
+        """
+        from repro.core import suspicion
+        from repro.core.reconfig import run_with_retries
+
+        node = self.runtime.node
+        if dead_id not in node.member_ids():
+            return False  # already fenced by someone else
+        committed = yield from run_with_retries(
+            node, lambda: suspicion.cast_vote(self.runtime, dead_id, True)
+        )
+        if not committed:
+            return False  # could not even vote; do not fence on no evidence
+        # Confirmation window: under a *symmetric* partition both sides cross
+        # the miss threshold in the same probe round, so the first voter must
+        # not fence before the other side's vote can land.  One probe
+        # interval later, re-read SysLog from (still-reachable) storage — the
+        # isolated monitor now sees the vote against itself and backs off.
+        yield Timeout(self.interval)
+        yield from self.runtime.handle_cas_failure(SYSLOG)
+        if node.node_id not in node.member_ids():
+            # The refreshed view says we were evicted while suspecting:
+            # retract and leave recovery to the surviving side.
+            yield from run_with_retries(
+                node, lambda: suspicion.cast_vote(self.runtime, dead_id, False)
+            )
+            return False
+        if suspicion.count_votes(
+            node, node.node_id, self.vote_window, voters=node.member_ids()
+        ):
+            yield from run_with_retries(
+                node, lambda: suspicion.cast_vote(self.runtime, dead_id, False)
+            )
+            return False
+        return True

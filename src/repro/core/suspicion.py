@@ -17,6 +17,14 @@ implements it on top of the same machinery:
 With ``vote_threshold=1`` this degrades to the basic ring detector; with
 ``k`` successors and a threshold of 2+, one slow link no longer evicts a
 healthy node.
+
+The module-level helpers (:func:`cast_vote` / :func:`count_votes` /
+:func:`clear_votes`) also back the basic ring detector's *vote gate*
+(``RingFailureDetector(vote_gate=True)``, the default in cluster runs):
+before RecoveryMigrTxn, the monitor commits a suspicion vote, waits one
+probe interval, re-reads MTable from storage, and stands down if the
+cluster suspects (or has evicted) the monitor itself — which breaks the
+mutual-fencing cascade of a symmetrically-partitioned node.
 """
 
 from __future__ import annotations
@@ -30,7 +38,13 @@ from repro.engine.txn import TxnAborted, TxnContext
 from repro.sim.core import Timeout
 from repro.sim.rpc import RpcError, RpcTimeout
 
-__all__ = ["SuspicionFailureDetector", "suspect_key"]
+__all__ = [
+    "SuspicionFailureDetector",
+    "cast_vote",
+    "clear_votes",
+    "count_votes",
+    "suspect_key",
+]
 
 
 def suspect_key(target: int, voter: int) -> str:
@@ -43,6 +57,89 @@ def _is_suspect_row(key) -> Optional[Tuple[int, int]]:
         _tag, target, voter = key.split(":")
         return int(target), int(voter)
     return None
+
+
+def cast_vote(runtime, target: int, suspicious: bool) -> Generator:
+    """Record (or retract) a suspicion row in MTable via MarlinCommit.
+
+    Votes serialize through the SysLog CAS, so they are totally ordered
+    against every other membership change — a voter whose commit lands has,
+    as a side effect, observed every earlier vote and membership update
+    (its MTable view is refreshed on the way).  Returns whether the vote
+    committed.
+    """
+    node = runtime.node
+    ctx = TxnContext(node.node_id, is_reconfig=True, name="SuspectVoteTxn")
+    key = suspect_key(target, node.node_id)
+    if suspicious:
+        ctx.write(SYSLOG, MTABLE, key, node.sim.now)
+    else:
+        ctx.delete(SYSLOG, MTABLE, key)
+    try:
+        committed = yield from marlin_commit(
+            node, ctx, [LogParticipant(SYSLOG, ctx.entries_for(SYSLOG))]
+        )
+    except TxnAborted:
+        return False
+    if committed:
+        node.apply_system_entries(ctx.entries_for(SYSLOG))
+        node.view_cursor[SYSLOG] = node.lsn_tracker[SYSLOG]
+    return committed
+
+
+def count_votes(
+    node, target: int, window: float, voters=None
+) -> int:
+    """Distinct in-window suspicion votes against ``target`` (local view).
+
+    ``voters``, when given, restricts the count to votes cast by those node
+    ids — the ring detector's gate passes the current membership so a row
+    left behind by an already-fenced voter cannot stall a live failover.
+    """
+    now = node.sim.now
+    if voters is not None:
+        voters = set(voters)
+    votes = 0
+    for key, voted_at in node.mtable.items():
+        parsed = _is_suspect_row(key)
+        if parsed is None:
+            continue
+        voted_target, voter = parsed
+        if voted_target != target:
+            continue
+        if voters is not None and voter not in voters:
+            continue
+        if now - voted_at <= window:
+            votes += 1
+    return votes
+
+
+def clear_votes(runtime, target: int) -> Generator:
+    """Delete every suspicion row involving ``target`` (post-failover hygiene).
+
+    Rows *against* the fenced node are obsolete, and rows *cast by* it are
+    orphaned opinions of a non-member — both are removed so MTable carries
+    no stale suspicion state forward.
+    """
+    node = runtime.node
+    stale = [
+        key for key in node.mtable
+        if (parsed := _is_suspect_row(key)) and target in parsed
+    ]
+    if not stale:
+        return
+    ctx = TxnContext(node.node_id, is_reconfig=True, name="ClearVotesTxn")
+    for key in stale:
+        ctx.delete(SYSLOG, MTABLE, key)
+    try:
+        committed = yield from marlin_commit(
+            node, ctx, [LogParticipant(SYSLOG, ctx.entries_for(SYSLOG))]
+        )
+    except TxnAborted:
+        return
+    if committed:
+        node.apply_system_entries(ctx.entries_for(SYSLOG))
+        node.view_cursor[SYSLOG] = node.lsn_tracker[SYSLOG]
 
 
 class SuspicionFailureDetector:
@@ -139,37 +236,11 @@ class SuspicionFailureDetector:
 
     def _cast_vote(self, target: int, suspicious: bool) -> Generator:
         """Record (or retract) a suspicion row in MTable via MarlinCommit."""
-        node = self.runtime.node
-        ctx = TxnContext(node.node_id, is_reconfig=True, name="SuspectVoteTxn")
-        key = suspect_key(target, node.node_id)
-        if suspicious:
-            ctx.write(SYSLOG, MTABLE, key, node.sim.now)
-        else:
-            ctx.delete(SYSLOG, MTABLE, key)
-        try:
-            committed = yield from marlin_commit(
-                node, ctx, [LogParticipant(SYSLOG, ctx.entries_for(SYSLOG))]
-            )
-        except TxnAborted:
-            return False
-        if committed:
-            node.apply_system_entries(ctx.entries_for(SYSLOG))
-            node.view_cursor[SYSLOG] = node.lsn_tracker[SYSLOG]
-        return committed
+        return (yield from cast_vote(self.runtime, target, suspicious))
 
     def count_votes(self, target: int) -> int:
         """Distinct in-window suspicion votes against ``target`` (local view)."""
-        node = self.runtime.node
-        now = node.sim.now
-        votes = 0
-        for key, voted_at in node.mtable.items():
-            parsed = _is_suspect_row(key)
-            if parsed is None:
-                continue
-            voted_target, _voter = parsed
-            if voted_target == target and now - voted_at <= self.vote_window:
-                votes += 1
-        return votes
+        return count_votes(self.runtime.node, target, self.vote_window)
 
     def _run_failover(self, target: int):
         try:
@@ -185,22 +256,4 @@ class SuspicionFailureDetector:
             self._voted.discard(target)
 
     def _clear_votes(self, target: int) -> Generator:
-        node = self.runtime.node
-        stale = [
-            key for key in node.mtable
-            if (parsed := _is_suspect_row(key)) and parsed[0] == target
-        ]
-        if not stale:
-            return
-        ctx = TxnContext(node.node_id, is_reconfig=True, name="ClearVotesTxn")
-        for key in stale:
-            ctx.delete(SYSLOG, MTABLE, key)
-        try:
-            committed = yield from marlin_commit(
-                node, ctx, [LogParticipant(SYSLOG, ctx.entries_for(SYSLOG))]
-            )
-        except TxnAborted:
-            return
-        if committed:
-            node.apply_system_entries(ctx.entries_for(SYSLOG))
-            node.view_cursor[SYSLOG] = node.lsn_tracker[SYSLOG]
+        return (yield from clear_votes(self.runtime, target))

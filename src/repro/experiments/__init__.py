@@ -1,4 +1,4 @@
-"""Per-figure reproduction harness (§6).
+"""Per-figure reproduction harness (§6) on a declarative spec API.
 
 One module per evaluation figure; each exposes ``run(scale=..., seed=...)``
 returning a :class:`repro.experiments.harness.FigureResult` whose
@@ -6,9 +6,20 @@ returning a :class:`repro.experiments.harness.FigureResult` whose
 ``scale`` knob shrinks clients/granules proportionally (see EXPERIMENTS.md
 for the scale-factor discussion); ratios between systems — the reproduction
 target — are stable across scales.
+
+Every figure run goes through one executor: a figure builds
+:class:`~repro.experiments.spec.ScenarioSpec` objects (topology + workload +
+phase timeline + fault schedule + SLO probes, all JSON round-trippable) and
+hands them to :func:`~repro.experiments.runner.run_spec`;
+:class:`~repro.experiments.spec.Sweep` expands a base spec over named axes
+into the full grid.  ``python -m repro.experiments`` lists and runs figures
+and ad-hoc spec files from the command line.  See EXPERIMENTS.md for the
+spec format and calibration notes.
 """
 
 from repro.experiments import (
+    detector_sweep,
+    fig7,
     fig8,
     fig9,
     fig10,
@@ -24,11 +35,47 @@ from repro.experiments.harness import (
     ScenarioResult,
     run_scale_out_scenario,
 )
+from repro.experiments.runner import SpecRunResult, run_spec
+from repro.experiments.spec import (
+    FaultSpec,
+    PhaseSpec,
+    ProbeSpec,
+    ScenarioSpec,
+    Sweep,
+    TopologySpec,
+    WorkloadSpec,
+    scale_out_spec,
+)
+
+#: CLI-runnable experiments: name -> module exposing ``run(scale=, seed=, ...)``.
+FIGURES = {
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "detector_sweep": detector_sweep,
+}
 
 __all__ = [
     "EXP_NODE_PARAMS",
+    "FIGURES",
+    "FaultSpec",
     "FigureResult",
+    "PhaseSpec",
+    "ProbeSpec",
     "ScenarioResult",
+    "ScenarioSpec",
+    "SpecRunResult",
+    "Sweep",
+    "TopologySpec",
+    "WorkloadSpec",
+    "detector_sweep",
+    "fig7",
     "fig8",
     "fig9",
     "fig10",
@@ -38,4 +85,6 @@ __all__ = [
     "fig14",
     "fig15",
     "run_scale_out_scenario",
+    "run_spec",
+    "scale_out_spec",
 ]

@@ -1,0 +1,149 @@
+"""``python -m repro.experiments`` — list and run experiments from the CLI.
+
+Commands::
+
+    python -m repro.experiments list [--json]
+    python -m repro.experiments run fig8 --scale 0.25 [--seed N]
+        [--systems marlin,zk-small] [--clients N] [--json] [--series]
+    python -m repro.experiments run path/to/spec.json [--json]
+
+``run <figure>`` executes a registered figure (see ``list``) and prints its
+table (or ``--json``).  ``run <file.json>`` loads an ad-hoc
+:class:`~repro.experiments.spec.ScenarioSpec` — or a
+:class:`~repro.experiments.spec.Sweep` when the file has an ``"axes"`` key —
+executes it through ``run_spec``, and prints the run summaries (probe
+verdicts included).  See EXPERIMENTS.md for the spec format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import os
+import sys
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.experiments import FIGURES
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import ScenarioSpec, Sweep
+
+
+def _json_default(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):  # pragma: no cover - series are lists
+        return value.tolist()
+    if isinstance(value, bool):
+        return value
+    return str(value)
+
+
+def _figure_doc(module) -> str:
+    doc = (module.__doc__ or "").strip().splitlines()
+    return doc[0] if doc else ""
+
+
+def _run_figure(name: str, args) -> Dict[str, Any]:
+    module = FIGURES[name]
+    kwargs: Dict[str, Any] = {"scale": args.scale, "seed": args.seed}
+    supported = inspect.signature(module.run).parameters
+    if args.systems:
+        if "systems" not in supported:
+            raise SystemExit(f"{name} does not take --systems")
+        kwargs["systems"] = tuple(args.systems.split(","))
+    if args.clients is not None:
+        if "clients" not in supported:
+            raise SystemExit(f"{name} does not take --clients")
+        kwargs["clients"] = args.clients
+    fig = module.run(**kwargs)
+    return fig.to_dict(include_series=args.series)
+
+
+def _run_spec_file(path: str, args) -> Any:
+    with open(path) as f:
+        data = json.load(f)
+    if isinstance(data, dict) and "axes" in data:
+        sweep = Sweep.from_dict(data)
+        out = []
+        for point, result in sweep.run():
+            summary = result.summary()
+            summary["point"] = point
+            out.append(summary)
+        return out
+    result = run_spec(ScenarioSpec.from_dict(data))
+    return result.summary()
+
+
+def _print(payload, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2, default=_json_default))
+        return
+    if isinstance(payload, dict) and "figure" in payload:
+        # A figure table: re-render through FigureResult formatting.
+        from repro.experiments.harness import FigureResult
+
+        fig = FigureResult(payload["figure"], payload["title"])
+        for row in payload["rows"]:
+            fig.add_row(**{
+                k: v for k, v in row.items() if not k.endswith("series")
+            })
+        fig.findings = payload["findings"]
+        print(fig.format_table())
+    else:
+        print(json.dumps(payload, indent=2, default=_json_default))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="List and run the paper's experiments (see EXPERIMENTS.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list runnable figures/experiments")
+    p_list.add_argument("--json", action="store_true")
+
+    p_run = sub.add_parser("run", help="run a figure or a spec JSON file")
+    p_run.add_argument("target", help="figure name (see `list`) or spec file path")
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--systems", help="comma-separated coordination kinds")
+    p_run.add_argument(
+        "--clients", type=int, default=None,
+        help="override the client population (family figures only)",
+    )
+    p_run.add_argument("--json", action="store_true", help="machine-readable output")
+    p_run.add_argument(
+        "--series", action="store_true",
+        help="include the per-bucket time series in --json output",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        listing = {name: _figure_doc(mod) for name, mod in FIGURES.items()}
+        if args.json:
+            print(json.dumps(listing, indent=2))
+        else:
+            width = max(len(n) for n in listing)
+            for name, doc in listing.items():
+                print(f"{name.ljust(width)}  {doc}")
+        return 0
+
+    if args.target in FIGURES:
+        payload = _run_figure(args.target, args)
+    elif os.path.exists(args.target):
+        payload = _run_spec_file(args.target, args)
+    else:
+        parser.error(
+            f"unknown target {args.target!r}: not a registered figure "
+            f"({', '.join(sorted(FIGURES))}) and not a spec file"
+        )
+    _print(payload, args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

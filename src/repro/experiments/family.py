@@ -10,13 +10,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.harness import (
-    ScenarioResult,
-    run_scale_out_scenario,
-    scaled,
-)
+from repro.experiments.harness import ScenarioResult, scaled
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import ScenarioSpec, scale_out_spec
 
-__all__ = ["DEFAULT_SYSTEMS", "run_family"]
+__all__ = ["DEFAULT_SYSTEMS", "family_spec", "run_family"]
 
 DEFAULT_SYSTEMS = ("marlin", "zk-small", "zk-large")
 
@@ -24,6 +22,31 @@ DEFAULT_SYSTEMS = ("marlin", "zk-small", "zk-large")
 BASE_CLIENTS = 100
 BASE_GRANULES = 12_500
 SCALE_AT = 5.0
+
+
+def family_spec(
+    system: str,
+    scale: float = 1.0,
+    workload: str = "ycsb",
+    seed: int = 1,
+    granules: Optional[int] = None,
+    clients: Optional[int] = None,
+) -> ScenarioSpec:
+    """The §6.2 8->16 scale-out cell for one system, as a spec."""
+    return scale_out_spec(
+        system,
+        initial_nodes=8,
+        added_nodes=8,
+        clients=clients if clients is not None else BASE_CLIENTS,
+        granules=(
+            granules if granules is not None else scaled(BASE_GRANULES, scale)
+        ),
+        scale_at=SCALE_AT,
+        tail=5.0,
+        workload=workload,
+        seed=seed,
+        name=f"family-{workload}-{system}",
+    )
 
 
 def run_family(
@@ -42,19 +65,16 @@ def run_family(
     to be overloaded, which is a clients-to-capacity ratio, not a data size.
     Pass ``clients`` explicitly for quick shape tests.
     """
-    results: Dict[str, ScenarioResult] = {}
-    for system in systems:
-        results[system] = run_scale_out_scenario(
-            system,
-            initial_nodes=8,
-            added_nodes=8,
-            clients=clients if clients is not None else BASE_CLIENTS,
-            granules=(
-                granules if granules is not None else scaled(BASE_GRANULES, scale)
-            ),
-            scale_at=SCALE_AT,
-            tail=5.0,
-            workload=workload,
-            seed=seed,
+    return {
+        system: run_spec(
+            family_spec(
+                system,
+                scale=scale,
+                workload=workload,
+                seed=seed,
+                granules=granules,
+                clients=clients,
+            )
         )
-    return results
+        for system in systems
+    }

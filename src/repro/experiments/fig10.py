@@ -61,9 +61,10 @@ def run(
     systems: Sequence[str] = DEFAULT_SYSTEMS,
     seed: int = 1,
     results: Optional[Dict[str, ScenarioResult]] = None,
+    clients: Optional[int] = None,
 ) -> FigureResult:
     if results is None:
-        results = run_family(scale=scale, systems=systems, seed=seed)
+        results = run_family(scale=scale, systems=systems, seed=seed, clients=clients)
     return summarize(results)
 
 

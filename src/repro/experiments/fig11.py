@@ -18,9 +18,10 @@ from repro.experiments.harness import (
     FigureResult,
     ScenarioResult,
     SYSTEM_LABELS,
-    run_scale_out_scenario,
     scaled,
 )
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import scale_out_spec
 
 __all__ = ["run", "run_tpcc_family", "summarize"]
 
@@ -39,7 +40,7 @@ def run_tpcc_family(
 ) -> Dict[str, ScenarioResult]:
     results = {}
     for system in systems:
-        results[system] = run_scale_out_scenario(
+        spec = scale_out_spec(
             system,
             initial_nodes=8,
             added_nodes=8,
@@ -49,7 +50,9 @@ def run_tpcc_family(
             tail=5.0,
             workload="tpcc",
             seed=seed,
+            name=f"fig11-tpcc-{system}",
         )
+        results[system] = run_spec(spec)
     return results
 
 

@@ -21,9 +21,10 @@ from repro.experiments.harness import (
     FigureResult,
     ScenarioResult,
     SYSTEM_LABELS,
-    run_scale_out_scenario,
     scaled,
 )
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import scale_out_spec
 
 __all__ = ["SCALE_OUTS", "run", "run_sweep", "summarize"]
 
@@ -49,7 +50,7 @@ def run_sweep(
     results: Dict[Tuple[str, str], ScenarioResult] = {}
     for name, initial, clients, granules in scale_outs:
         for system in systems:
-            results[(name, system)] = run_scale_out_scenario(
+            spec = scale_out_spec(
                 system,
                 initial_nodes=initial,
                 added_nodes=initial,
@@ -59,7 +60,9 @@ def run_sweep(
                 tail=5.0,
                 regions=regions,
                 seed=seed,
+                name=f"fig12-{name}-{system}",
             )
+            results[(name, system)] = run_spec(spec)
     return results
 
 

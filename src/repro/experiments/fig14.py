@@ -13,18 +13,21 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.cluster import Cluster, ClusterConfig
-from repro.core.autoscaler import Autoscaler
 from repro.experiments.harness import (
-    EXP_NODE_PARAMS,
     FigureResult,
     ScenarioResult,
     SYSTEM_LABELS,
     scaled,
-    start_clients,
+)
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import (
+    PhaseSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
 )
 
-__all__ = ["run", "run_dynamic", "summarize"]
+__all__ = ["dynamic_spec", "run", "run_dynamic", "summarize"]
 
 DEFAULT_SYSTEMS = ("marlin", "zk-small", "zk-large")
 
@@ -36,54 +39,59 @@ DROP_AT = 40.0
 END_AT = 65.0
 
 
+def dynamic_spec(system: str, scale: float = 1.0, seed: int = 1) -> ScenarioSpec:
+    """The §6.6 bursty-workload timeline as a spec.
+
+    The base population runs from warmup; a burst pool joins at
+    ``BURST_AT`` bound to the original 8 nodes and leaves at ``DROP_AT``;
+    the autoscaler (started right after the base clients) drives 8 -> 16 ->
+    8.  Fixed ``duration`` so every system is measured over the same window.
+    """
+    low = scaled(BASE_LOW_CLIENTS, scale)
+    high = scaled(BASE_HIGH_CLIENTS, scale)
+    granules = scaled(BASE_GRANULES, scale, minimum=128)
+    return ScenarioSpec(
+        name=f"fig14-dynamic-{system}",
+        topology=TopologySpec(nodes=8, coordination=system),
+        workload=WorkloadSpec(
+            kind="ycsb", clients=low, granules=granules, client_seed_factor=31
+        ),
+        phases=[
+            PhaseSpec(
+                at=0.1,
+                action="autoscaler",
+                params={
+                    "interval": 1.0,
+                    "clients_per_node": high / 16.0,
+                    "min_nodes": 8,
+                    "max_nodes": 16,
+                    "cooldown": 2.0,
+                },
+            ),
+            PhaseSpec(
+                at=BURST_AT,
+                action="clients_start",
+                params={
+                    "pool": "burst",
+                    "count": high - low,
+                    "seed_factor": 57,
+                    "bind_to_nodes": list(range(8)),
+                },
+            ),
+            PhaseSpec(at=DROP_AT, action="clients_stop", params={"pool": "burst"}),
+        ],
+        seed=seed,
+        duration=END_AT,
+        check_invariants=False,
+    )
+
+
 def run_dynamic(
     system: str,
     scale: float = 1.0,
     seed: int = 1,
 ) -> ScenarioResult:
-    low = scaled(BASE_LOW_CLIENTS, scale)
-    high = scaled(BASE_HIGH_CLIENTS, scale)
-    granules = scaled(BASE_GRANULES, scale, minimum=128)
-    config = ClusterConfig(
-        coordination=system,
-        num_nodes=8,
-        num_keys=granules * 64,
-        keys_per_granule=64,
-        node_params=EXP_NODE_PARAMS,
-        seed=seed,
-    )
-    cluster = Cluster(config)
-    cluster.run(until=0.1)
-    router, clients = start_clients(cluster, low, "ycsb", seed=seed * 31)
-    scaler = Autoscaler(
-        cluster,
-        router=router,
-        interval=1.0,
-        clients_per_node=high / 16.0,
-        min_nodes=8,
-        max_nodes=16,
-        cooldown=2.0,
-    )
-    scaler.start()
-    result = ScenarioResult(system=system, duration=END_AT, cluster=cluster)
-
-    cluster.run(until=BURST_AT)
-    _router2, burst_clients = start_clients(
-        cluster, high - low, "ycsb", seed=seed * 57,
-        bind_to_nodes=list(range(8)),
-    )
-    cluster.client_count = high
-    cluster.run(until=DROP_AT)
-    for client in burst_clients:
-        client.stop()
-    cluster.client_count = low
-    cluster.run(until=END_AT)
-    for client in clients:
-        client.stop()
-    scaler.stop()
-    cluster.settle(0.2)
-    result.scale_summaries = list(cluster.scale_events)
-    return result
+    return run_spec(dynamic_spec(system, scale=scale, seed=seed))
 
 
 def summarize(results: Dict[str, ScenarioResult]) -> FigureResult:

@@ -12,23 +12,60 @@ contention knee at the paper's scale.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.cluster import Cluster, ClusterConfig
-from repro.core.reconfig import NodeAlreadyExistsError, NodeNotExistError
-from repro.engine.node import NodeParams
 from repro.experiments.harness import FigureResult, SYSTEM_LABELS
-from repro.sim.core import Timeout
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import (
+    PhaseSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 
-__all__ = ["run", "run_stress", "summarize"]
+__all__ = ["run", "run_stress", "stress_spec", "summarize"]
 
 ALL_SYSTEMS = ("marlin", "zk-small", "zk-large", "fdb")
 NODE_COUNTS = (20, 40, 80, 160, 240)
 UPDATE_INTERVAL = 15.0
 RUN_SECONDS = 60.0
 SYSLOG_APPEND_LATENCY = 0.015
+
+
+def stress_spec(
+    system: str,
+    num_nodes: int,
+    interval: float = UPDATE_INTERVAL,
+    duration: float = RUN_SECONDS,
+    seed: int = 1,
+) -> ScenarioSpec:
+    """One (system, node-count) stress cell as a spec.
+
+    Control-plane only: no clients (``kind="none"``), tiny page cache, and
+    the realistic Azure Append Blob latency on SysLog; the
+    ``membership_churn`` action drives one leave+rejoin per node per
+    ``interval`` and reports its statistics in
+    ``result.extras["membership_churn"]``.
+    """
+    return ScenarioSpec(
+        name=f"fig15-stress-{system}-{num_nodes}",
+        topology=TopologySpec(
+            nodes=num_nodes,
+            coordination=system,
+            node_params="default",
+            node_param_overrides={"cache_pages": 64},
+            storage_append_latency=SYSLOG_APPEND_LATENCY,
+            storage_read_latency=SYSLOG_APPEND_LATENCY,
+        ),
+        workload=WorkloadSpec(kind="none", granules=num_nodes),
+        phases=[
+            PhaseSpec(at=0.1, action="membership_churn", params={"interval": interval})
+        ],
+        seed=seed,
+        duration=duration,
+        settle=0.0,
+        check_invariants=False,
+    )
 
 
 def run_stress(
@@ -39,62 +76,10 @@ def run_stress(
     seed: int = 1,
 ) -> Dict[str, float]:
     """One (system, node-count) cell: offered vs. achieved update rate."""
-    config = ClusterConfig(
-        coordination=system,
-        num_nodes=num_nodes,
-        num_keys=num_nodes * 64,
-        keys_per_granule=64,
-        node_params=NodeParams(cache_pages=64),
-        storage_append_latency=SYSLOG_APPEND_LATENCY,
-        storage_read_latency=SYSLOG_APPEND_LATENCY,
-        seed=seed,
+    result = run_spec(
+        stress_spec(system, num_nodes, interval=interval, duration=duration, seed=seed)
     )
-    cluster = Cluster(config)
-    cluster.run(until=0.1)
-    stats = {"updates": 0, "failures": 0}
-    latencies: List[float] = []
-
-    def stress_loop(node_id: int, offset: float):
-        node = cluster.nodes[node_id]
-        yield Timeout(offset)
-        while True:
-            t0 = cluster.sim.now
-            try:
-                ok = yield from node.runtime.remove_node(node_id)
-                if ok:
-                    stats["updates"] += 1
-                ok = yield from node.runtime.add_node()
-                if ok:
-                    stats["updates"] += 1
-            except (NodeAlreadyExistsError, NodeNotExistError):
-                stats["failures"] += 1
-            latencies.append((cluster.sim.now - t0) / 2.0)
-            yield Timeout(interval)
-
-    rng = cluster.sim.rng
-    for node_id in list(cluster.nodes):
-        cluster.nodes[node_id].spawn(
-            stress_loop(node_id, rng.random() * interval),
-            name=f"stress-{node_id}",
-        )
-    cluster.run(until=duration)
-    achieved = stats["updates"] / duration
-    offered = 2.0 * num_nodes / interval
-    retries = 0
-    if system == "marlin":
-        retries = sum(
-            getattr(n.runtime, "refreshes", 0) for n in cluster.nodes.values()
-        )
-    return {
-        "offered_tps": offered,
-        "achieved_tps": achieved,
-        "efficiency": achieved / offered if offered else 0.0,
-        "mean_latency_s": float(np.mean(latencies)) if latencies else 0.0,
-        "p99_latency_s": (
-            float(np.percentile(latencies, 99)) if latencies else 0.0
-        ),
-        "retries": retries,
-    }
+    return result.extras["membership_churn"]
 
 
 def summarize(results: Dict[Tuple[str, int], Dict[str, float]]) -> FigureResult:

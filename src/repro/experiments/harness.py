@@ -1,21 +1,25 @@
-"""Shared experiment machinery: scenario runner, result containers, tables.
+"""Shared experiment machinery: result containers, tables, client binding.
 
 The canonical scenario (§6.2-§6.4) is *scale-out under load*: a cluster of
 ``initial_nodes`` serving a static client population doubles at
 ``scale_at`` seconds, migrating half of every old node's granules to the new
-nodes.  The runner builds the cluster, binds clients to their (region-local)
-key ranges, fires the scale-out, and collects throughput / abort / migration
-/ latency series plus the §6.1.5 cost report.
+nodes.  Since the spec redesign (ISSUE 3) the scenario itself is data — see
+:func:`repro.experiments.spec.scale_out_spec` — and a single runner
+(:func:`repro.experiments.runner.run_spec`) owns setup, measurement and
+serialization; this module keeps the shared pieces: the calibrated node
+parameters, result containers, table formatting and client binding.
+``run_scale_out_scenario`` remains as a thin deprecated shim over the spec
+path.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster import Cluster, ClusterConfig
+from repro.cluster import Cluster
 from repro.cluster.cost import CostReport
-from repro.core.invariants import check_view_consistency
 from repro.engine.node import NodeParams
 from repro.workload.client import Client, Router
 from repro.workload.tpcc import TpccWorkload
@@ -99,6 +103,22 @@ class FigureResult:
     def add_row(self, **fields) -> None:
         self.rows.append(dict(fields))
 
+    def to_dict(self, include_series: bool = True) -> Dict:
+        """JSON-ready form (the ``python -m repro.experiments`` CLI output)."""
+        rows = []
+        for row in self.rows:
+            row = dict(row)
+            if not include_series:
+                for key in [k for k in row if k.endswith("series")]:
+                    row.pop(key)
+            rows.append(row)
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "rows": rows,
+            "findings": dict(self.findings),
+        }
+
     def format_table(self) -> str:
         if not self.rows:
             return f"{self.figure}: (no rows)"
@@ -147,12 +167,27 @@ def start_clients(
         owned = sorted(
             g for g, owner in assignment.items() if owner == nid
         )
+        if not owned:
+            # A bound node can legitimately own nothing (more nodes than
+            # granules, or everything migrated away); binding a client to an
+            # empty range is meaningless, so skip it rather than crash.
+            warnings.warn(
+                f"start_clients: node {nid} owns no granules; "
+                "skipping it in the client binding",
+                stacklevel=2,
+            )
+            continue
         lo = cluster.gmap.granule(owned[0]).lo
         hi = cluster.gmap.granule(owned[-1]).hi
         ranges[nid] = (lo, hi)
+    bound_ids = [nid for nid in node_ids if nid in ranges]
+    if count and not bound_ids:
+        raise ValueError(
+            f"start_clients: none of the bound nodes {node_ids} owns any granule"
+        )
     clients = []
     for i in range(count):
-        nid = node_ids[i % len(node_ids)]
+        nid = bound_ids[i % len(bound_ids)]
         lo, hi = ranges[nid]
         if workload_kind == "ycsb":
             workload = YcsbWorkload(cluster.gmap, key_lo=lo, key_hi=hi)
@@ -201,6 +236,13 @@ def run_scale_out_scenario(
 ) -> ScenarioResult:
     """One full scale-out run (§6.2/§6.3 shape) for one system.
 
+    .. deprecated::
+        This is a thin shim over the declarative spec API — it builds a
+        :func:`repro.experiments.spec.scale_out_spec` and hands it to
+        :func:`repro.experiments.runner.run_spec`.  New code should build
+        specs directly (they serialize, sweep and probe); the shim is kept so
+        existing call sites and notebooks keep working.
+
     The run ends ``tail`` seconds after the last migration commits, so every
     system is measured over its own reconfiguration window plus a stable
     after-phase (mirroring the paper's fixed-duration plots).
@@ -212,51 +254,28 @@ def run_scale_out_scenario(
     recovery quiesced.  Chaotic scale-outs usually want
     ``failure_detection=True`` so fenced nodes actually get failed over.
     """
-    config = ClusterConfig(
-        coordination=system,
-        num_nodes=initial_nodes,
-        regions=regions,
-        home_region=regions[0],
-        num_keys=granules * keys_per_granule,
+    from repro.experiments.runner import run_spec
+    from repro.experiments.spec import scale_out_spec
+
+    spec = scale_out_spec(
+        system,
+        initial_nodes=initial_nodes,
+        added_nodes=added_nodes,
+        clients=clients,
+        granules=granules,
         keys_per_granule=keys_per_granule,
-        node_params=node_params or EXP_NODE_PARAMS,
-        metrics_bucket=1.0,
-        failure_detection=failure_detection,
+        scale_at=scale_at,
+        tail=tail,
+        workload=workload,
+        regions=tuple(regions),
         seed=seed,
+        node_params=node_params,
+        check_invariants=check_invariants,
+        fault_schedule=fault_schedule,
+        failure_detection=failure_detection,
+        chaos_settle=chaos_settle,
     )
-    cluster = Cluster(config)
-    schedule_proc = None
-    if fault_schedule is not None:
-        schedule_proc = cluster.chaos.run_schedule(fault_schedule)
-    cluster.run(until=0.1)
-    router, client_pool = start_clients(cluster, clients, workload, seed=seed * 977)
-
-    result = ScenarioResult(system=system, duration=0.0, cluster=cluster)
-
-    def do_scale():
-        summary = yield from cluster.scale_out(added_nodes)
-        router.sync(cluster.assignment_from_views())
-        result.scale_summaries.append(summary)
-
-    cluster.run(until=scale_at)
-    proc = cluster.sim.spawn(do_scale(), name="scale-out", daemon=True)
-    cluster.sim.run_until(proc.result, limit=3600.0)
-    end = cluster.sim.now + tail
-    if fault_schedule is not None:
-        # Let every scheduled fault land and clear, then quiesce recovery.
-        end = max(end, fault_schedule.horizon + chaos_settle)
-    cluster.run(until=end)
-    if schedule_proc is not None:
-        cluster.sim.run_until(schedule_proc.result, limit=end + 3600.0)
-        cluster.settle(chaos_settle)
-    for client in client_pool:
-        client.stop()
-    cluster.settle(0.2)
-    result.duration = end
-    if check_invariants:
-        live = [cluster.nodes[n] for n in cluster.live_node_ids()]
-        check_view_consistency(live, cluster.gmap.num_granules)
-    return result
+    return run_spec(spec)
 
 
 def scaled(value: float, scale: float, minimum: int = 1) -> int:

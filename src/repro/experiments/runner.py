@@ -1,0 +1,456 @@
+"""``run_spec``: the single executor behind every experiment.
+
+One runner owns the whole lifecycle — build the cluster, start the fault
+schedule, warm up, bind clients, fire timeline phases, drain, stop, verify,
+probe — so individual experiments are *specs*, not harness forks.  The
+execution order is kept exactly in step with the original per-figure
+harnesses: for a given seed, a ported figure is bit-identical to its
+pre-spec run (pinned by ``tests/test_experiment_spec.py``'s parity goldens).
+
+Phase actions are looked up by name in :data:`ACTIONS`; experiments can add
+their own with :func:`register_action` while keeping their specs
+serializable (the registry is populated at import, the spec only stores the
+name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.autoscaler import Autoscaler
+from repro.core.invariants import check_view_consistency
+from repro.core.reconfig import NodeAlreadyExistsError, NodeNotExistError
+from repro.experiments.harness import ScenarioResult, start_clients
+from repro.experiments.spec import ProbeSpec, ScenarioSpec
+from repro.sim.core import Timeout
+
+__all__ = [
+    "ACTIONS",
+    "ProbeResult",
+    "RunContext",
+    "SpecRunResult",
+    "build_config",
+    "register_action",
+    "run_spec",
+]
+
+
+@dataclass
+class ProbeResult:
+    """One evaluated SLO probe: measured value vs. threshold."""
+
+    name: str
+    kind: str
+    value: float
+    threshold: float
+    ok: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "value": self.value,
+            "threshold": self.threshold,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class SpecRunResult(ScenarioResult):
+    """A :class:`ScenarioResult` plus the spec, probe verdicts and extras."""
+
+    spec: Optional[ScenarioSpec] = None
+    probes: List[ProbeResult] = field(default_factory=list)
+    #: Action-specific outputs (e.g. ``membership_churn`` statistics).
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def slo_ok(self) -> bool:
+        return all(p.ok for p in self.probes)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready digest (what the CLI prints for spec-file runs)."""
+        m = self.metrics
+        report = self.cost
+        return {
+            "name": self.spec.name if self.spec else "",
+            "system": self.system,
+            "seed": self.spec.seed if self.spec else None,
+            "duration_s": self.duration,
+            "committed": m.total_committed,
+            "aborted": m.total_aborted,
+            "abort_ratio": m.abort_ratio(),
+            "migrations": m.total_migrations,
+            "migration_duration_s": m.migration_duration,
+            "failovers": len(m.failovers),
+            "latency_p99_s": m.latency_stats()["p99"],
+            "cost_per_mtxn_usd": report.cost_per_million_txns,
+            "slo_ok": self.slo_ok,
+            "probes": [p.to_dict() for p in self.probes],
+            "extras": self.extras,
+        }
+
+
+@dataclass
+class RunContext:
+    """Mutable run state handed to every phase action."""
+
+    cluster: Cluster
+    spec: ScenarioSpec
+    result: SpecRunResult
+    routers: Dict[str, Any] = field(default_factory=dict)
+    pools: Dict[str, List[Any]] = field(default_factory=dict)
+    autoscaler: Optional[Autoscaler] = None
+    #: Called (in order) once the run reaches its end time, before clients
+    #: stop — actions use these to snapshot their measurements.
+    finalizers: List[Callable[[], None]] = field(default_factory=list)
+
+    def _sync_client_count(self) -> None:
+        self.cluster.client_count = sum(len(p) for p in self.pools.values())
+
+
+#: Phase-action registry: name -> callable(ctx, **phase.params).
+ACTIONS: Dict[str, Callable] = {}
+
+
+def register_action(name: str):
+    """Register a phase action under ``name`` (importable = runnable)."""
+
+    def decorate(fn):
+        ACTIONS[name] = fn
+        return fn
+
+    return decorate
+
+
+@register_action("scale_out")
+def _act_scale_out(ctx: RunContext, count: int, router: str = "primary") -> None:
+    """Add ``count`` nodes, rebalance, and sync the named client router."""
+    cluster = ctx.cluster
+
+    def do_scale():
+        yield from cluster.scale_out(count)
+        target = ctx.routers.get(router)
+        if target is not None:
+            target.sync(cluster.assignment_from_views())
+
+    proc = cluster.sim.spawn(do_scale(), name="scale-out", daemon=True)
+    cluster.sim.run_until(proc.result, limit=ctx.spec.run_limit)
+
+
+@register_action("scale_in")
+def _act_scale_in(
+    ctx: RunContext,
+    victims: Optional[List[int]] = None,
+    count: Optional[int] = None,
+    router: str = "primary",
+) -> None:
+    """Drain and remove ``victims`` (or the last ``count`` live nodes)."""
+    cluster = ctx.cluster
+    if victims is None:
+        if not count:
+            raise ValueError("scale_in needs victims or count")
+        victims = cluster.live_node_ids()[-count:]
+
+    def do_scale():
+        yield from cluster.scale_in(list(victims))
+        target = ctx.routers.get(router)
+        if target is not None:
+            target.sync(cluster.assignment_from_views())
+
+    proc = cluster.sim.spawn(do_scale(), name="scale-in", daemon=True)
+    cluster.sim.run_until(proc.result, limit=ctx.spec.run_limit)
+
+
+@register_action("clients_start")
+def _act_clients_start(
+    ctx: RunContext,
+    pool: str = "burst",
+    count: int = 0,
+    seed_factor: Optional[int] = None,
+    bind_to_nodes: Optional[List[int]] = None,
+    workload: Optional[str] = None,
+) -> None:
+    """Attach an extra client pool (e.g. the §6.6 burst population)."""
+    spec = ctx.spec
+    # Default to a pool-distinct factor: reusing the primary pool's factor
+    # verbatim would hand the burst clients byte-identical RNG seeds (and so
+    # identical key sequences) to the primary population.
+    factor = (
+        seed_factor
+        if seed_factor is not None
+        else spec.workload.client_seed_factor + 101 * len(ctx.pools)
+    )
+    router, clients = start_clients(
+        ctx.cluster,
+        count,
+        workload or spec.workload.kind,
+        seed=spec.seed * factor,
+        bind_to_nodes=bind_to_nodes,
+    )
+    ctx.routers[pool] = router
+    ctx.pools[pool] = clients
+    ctx._sync_client_count()
+
+
+@register_action("clients_stop")
+def _act_clients_stop(ctx: RunContext, pool: str = "burst") -> None:
+    for client in ctx.pools.pop(pool, ()):
+        client.stop()
+    ctx.routers.pop(pool, None)
+    ctx._sync_client_count()
+
+
+@register_action("autoscaler")
+def _act_autoscaler(
+    ctx: RunContext,
+    interval: float = 2.0,
+    clients_per_node: float = 25.0,
+    min_nodes: int = 1,
+    max_nodes: int = 64,
+    cooldown: float = 3.0,
+    router: str = "primary",
+) -> None:
+    """Start the reactive autoscaler (stopped automatically at run end)."""
+    scaler = Autoscaler(
+        ctx.cluster,
+        router=ctx.routers.get(router),
+        interval=interval,
+        clients_per_node=clients_per_node,
+        min_nodes=min_nodes,
+        max_nodes=max_nodes,
+        cooldown=cooldown,
+    )
+    scaler.start()
+    ctx.autoscaler = scaler
+
+
+@register_action("membership_churn")
+def _act_membership_churn(ctx: RunContext, interval: float = 15.0) -> None:
+    """§6.7 MTable stress: every node leaves and re-joins once per interval.
+
+    Statistics land in ``result.extras["membership_churn"]`` when the run
+    reaches its (fixed) duration: offered vs. achieved update rate, latency
+    percentiles, and — for Marlin — TryLog OCC retries.
+    """
+    cluster = ctx.cluster
+    stats = {"updates": 0, "failures": 0}
+    latencies: List[float] = []
+
+    def stress_loop(node_id: int, offset: float):
+        node = cluster.nodes[node_id]
+        yield Timeout(offset)
+        while True:
+            t0 = cluster.sim.now
+            try:
+                ok = yield from node.runtime.remove_node(node_id)
+                if ok:
+                    stats["updates"] += 1
+                ok = yield from node.runtime.add_node()
+                if ok:
+                    stats["updates"] += 1
+            except (NodeAlreadyExistsError, NodeNotExistError):
+                stats["failures"] += 1
+            latencies.append((cluster.sim.now - t0) / 2.0)
+            yield Timeout(interval)
+
+    rng = cluster.sim.rng
+    for node_id in list(cluster.nodes):
+        cluster.nodes[node_id].spawn(
+            stress_loop(node_id, rng.random() * interval),
+            name=f"stress-{node_id}",
+        )
+
+    def finalize():
+        duration = ctx.spec.duration or cluster.sim.now
+        num_nodes = ctx.spec.topology.nodes
+        achieved = stats["updates"] / duration
+        offered = 2.0 * num_nodes / interval
+        retries = 0
+        if ctx.spec.topology.coordination == "marlin":
+            retries = sum(
+                getattr(n.runtime, "refreshes", 0)
+                for n in cluster.nodes.values()
+            )
+        ctx.result.extras["membership_churn"] = {
+            "offered_tps": offered,
+            "achieved_tps": achieved,
+            "efficiency": achieved / offered if offered else 0.0,
+            "failures": stats["failures"],
+            "mean_latency_s": float(np.mean(latencies)) if latencies else 0.0,
+            "p99_latency_s": (
+                float(np.percentile(latencies, 99)) if latencies else 0.0
+            ),
+            "retries": retries,
+        }
+
+    ctx.finalizers.append(finalize)
+
+
+# -- config / probes -----------------------------------------------------------
+
+
+def build_config(spec: ScenarioSpec) -> ClusterConfig:
+    """Translate a spec into the :class:`ClusterConfig` it runs on."""
+    topo, work = spec.topology, spec.workload
+    kwargs: Dict[str, Any] = dict(
+        coordination=topo.coordination,
+        num_nodes=topo.nodes,
+        regions=tuple(topo.regions),
+        home_region=topo.home_region or topo.regions[0],
+        num_keys=work.num_keys,
+        keys_per_granule=work.keys_per_granule,
+        node_params=topo.resolve_node_params(),
+        metrics_bucket=topo.metrics_bucket,
+        provision_delay=topo.provision_delay,
+        seed=spec.seed,
+    )
+    if topo.storage_append_latency is not None:
+        kwargs["storage_append_latency"] = topo.storage_append_latency
+    if topo.storage_read_latency is not None:
+        kwargs["storage_read_latency"] = topo.storage_read_latency
+    if spec.faults is not None:
+        kwargs.update(
+            failure_detection=spec.faults.failure_detection,
+            detector_interval=spec.faults.detector_interval,
+            detector_timeout=spec.faults.detector_timeout,
+            detector_misses=spec.faults.detector_misses,
+            detector_vote_gate=spec.faults.detector_vote_gate,
+        )
+    return ClusterConfig(**kwargs)
+
+
+def _evaluate_probe(probe: ProbeSpec, result: SpecRunResult) -> ProbeResult:
+    t0, t1 = probe.window or (0.0, result.duration)
+    metrics = result.metrics
+    bucket = metrics.bucket
+    if probe.kind == "latency":
+        samples = [
+            v
+            for b, values in metrics.latencies.items()
+            if t0 <= b * bucket < t1
+            for v in values
+        ]
+        value = float(np.percentile(samples, probe.pct)) if samples else 0.0
+        ok = value <= probe.threshold
+    elif probe.kind == "throughput_floor":
+        points = [v for t, v in result.throughput_series() if t0 <= t < t1]
+        value = float(np.mean(points)) if points else 0.0
+        ok = value >= probe.threshold
+    elif probe.kind == "abort_ceiling":
+        commits = sum(
+            c for b, c in metrics.committed.items() if t0 <= b * bucket < t1
+        )
+        aborts = sum(
+            c for b, c in metrics.aborted.items() if t0 <= b * bucket < t1
+        )
+        total = commits + aborts
+        value = aborts / total if total else 0.0
+        ok = value <= probe.threshold
+    elif probe.kind == "unavailability":
+        longest = current = 0.0
+        for t, tps in result.throughput_series():
+            if not t0 <= t < t1:
+                continue
+            current = current + bucket if tps == 0 else 0.0
+            longest = max(longest, current)
+        value = longest
+        ok = value <= probe.threshold
+    else:  # pragma: no cover - ProbeSpec validates kinds
+        raise ValueError(f"unknown probe kind {probe.kind!r}")
+    return ProbeResult(probe.name, probe.kind, value, probe.threshold, ok)
+
+
+# -- the runner ----------------------------------------------------------------
+
+
+def run_spec(spec: ScenarioSpec) -> SpecRunResult:
+    """Execute one :class:`ScenarioSpec` end to end.
+
+    Lifecycle: build cluster -> start fault schedule -> warmup -> bind
+    clients -> timed phases -> drain (``tail`` after the last phase, or the
+    fixed ``duration``) -> stop clients/autoscaler -> settle -> invariants ->
+    probes.
+    """
+    cluster = Cluster(build_config(spec))
+    result = SpecRunResult(
+        system=spec.topology.coordination,
+        duration=0.0,
+        cluster=cluster,
+        spec=spec,
+    )
+    ctx = RunContext(cluster=cluster, spec=spec, result=result)
+
+    schedule = spec.faults.to_schedule() if spec.faults else None
+    if (
+        schedule is not None
+        and spec.duration is not None
+        and schedule.horizon > spec.duration
+    ):
+        # A fixed-horizon run never extends past `duration`, so a fault
+        # landing or clearing beyond it would be silently skipped — that is
+        # a spec inconsistency, not a runnable scenario.
+        raise ValueError(
+            f"fault schedule horizon ({schedule.horizon}s) exceeds the fixed "
+            f"duration ({spec.duration}s); extend duration or trim the schedule"
+        )
+    schedule_proc = None
+    if schedule is not None:
+        schedule_proc = cluster.chaos.run_schedule(schedule)
+
+    cluster.run(until=spec.warmup)
+    if spec.workload.kind != "none":
+        router, clients = start_clients(
+            cluster,
+            spec.workload.clients,
+            spec.workload.kind,
+            seed=spec.seed * spec.workload.client_seed_factor,
+            bind_to_nodes=spec.workload.bind_to_nodes,
+        )
+        ctx.routers["primary"] = router
+        ctx.pools["primary"] = clients
+
+    for phase in sorted(spec.phases, key=lambda p: p.at):
+        if phase.at > cluster.sim.now:
+            cluster.run(until=phase.at)
+        action = ACTIONS.get(phase.action)
+        if action is None:
+            raise ValueError(
+                f"unknown phase action {phase.action!r}; "
+                f"registered: {sorted(ACTIONS)}"
+            )
+        action(ctx, **phase.params)
+
+    if spec.duration is not None:
+        end = spec.duration
+        cluster.run(until=end)
+    else:
+        end = cluster.sim.now + spec.tail
+        if schedule is not None:
+            end = max(end, schedule.horizon + spec.faults.settle)
+        cluster.run(until=end)
+        if schedule_proc is not None:
+            cluster.sim.run_until(schedule_proc.result, limit=end + 3600.0)
+            cluster.settle(spec.faults.settle)
+
+    for finalize in ctx.finalizers:
+        finalize()
+    for pool in list(ctx.pools.values()):
+        for client in pool:
+            client.stop()
+    if ctx.autoscaler is not None:
+        ctx.autoscaler.stop()
+    if spec.settle:
+        cluster.settle(spec.settle)
+
+    result.duration = end
+    result.scale_summaries = list(cluster.scale_events)
+    if spec.check_invariants:
+        live = [cluster.nodes[n] for n in cluster.live_node_ids()]
+        check_view_consistency(live, cluster.gmap.num_granules)
+    result.probes = [_evaluate_probe(p, result) for p in spec.probes]
+    return result

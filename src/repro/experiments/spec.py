@@ -1,0 +1,479 @@
+"""Declarative, serializable experiment specs (the §6 grid as data).
+
+The paper's evaluation is a grid — systems x workloads x topologies x fault
+conditions — and every cell used to be a bespoke harness call.  This module
+turns one cell into a :class:`ScenarioSpec`: pure data, JSON round-trippable
+(``to_dict`` / ``from_dict``), composed from five orthogonal parts:
+
+* :class:`TopologySpec` — nodes, regions, coordination mechanism, node
+  parameters (a named preset plus overrides), storage latencies;
+* :class:`WorkloadSpec` — workload kind, client population, table size,
+  client/range binding;
+* :class:`PhaseSpec` — the timeline: warmup -> timed actions (scale-out,
+  client bursts, autoscaler, membership churn, ...) -> drain.  Actions are
+  referenced by name and resolved in :mod:`repro.experiments.runner`'s
+  registry, so specs stay serializable while figures can register custom
+  actions;
+* :class:`FaultSpec` — a ``repro.chaos`` fault schedule (declarative entry
+  list, CHAOS.md vocabulary) plus the failure-detector parameters it is run
+  against;
+* :class:`ProbeSpec` — SLO probes (latency percentile ceilings, throughput
+  floors, abort ceilings, unavailability windows) evaluated on the finished
+  run.
+
+:class:`Sweep` expands a base spec over named axes (``"faults.
+detector_interval"``, ``"topology.coordination"``, ...) into the full grid.
+``repro.experiments.runner.run_spec`` executes one spec; the ``python -m
+repro.experiments`` CLI runs figures and ad-hoc spec files.  See
+EXPERIMENTS.md for the format reference.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.chaos.events import FaultSchedule
+from repro.engine.node import NodeParams
+
+__all__ = [
+    "FaultSpec",
+    "NODE_PARAM_PRESETS",
+    "PhaseSpec",
+    "ProbeSpec",
+    "ScenarioSpec",
+    "Sweep",
+    "TopologySpec",
+    "WorkloadSpec",
+    "scale_out_spec",
+]
+
+
+def _jsonify(value):
+    """Tuples -> lists, recursively: canonical JSON-safe form."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    return value
+
+
+#: Named :class:`NodeParams` bases for :attr:`TopologySpec.node_params`.
+#: "experiment" is the calibrated preset every figure uses (see
+#: EXPERIMENTS.md "Calibration"); "default" is the engine's raw default.
+def _experiment_params() -> NodeParams:
+    from repro.experiments.harness import EXP_NODE_PARAMS
+
+    return EXP_NODE_PARAMS
+
+
+NODE_PARAM_PRESETS = {
+    "experiment": _experiment_params,
+    "default": NodeParams,
+}
+
+
+class _SpecBase:
+    """Shared ``to_dict`` / ``from_dict`` for the flat spec dataclasses."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _jsonify(asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "_SpecBase":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"{cls.__name__}: unknown spec keys {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
+@dataclass
+class TopologySpec(_SpecBase):
+    """The cluster under test: who coordinates, where, on what hardware."""
+
+    nodes: int = 4
+    coordination: str = "marlin"
+    regions: Tuple[str, ...] = ("us-west",)
+    #: Defaults to ``regions[0]`` (where SysLog and any external service live).
+    home_region: Optional[str] = None
+    #: Key into :data:`NODE_PARAM_PRESETS`.
+    node_params: str = "experiment"
+    #: Field overrides applied on top of the preset.
+    node_param_overrides: Dict[str, Any] = field(default_factory=dict)
+    storage_append_latency: Optional[float] = None
+    storage_read_latency: Optional[float] = None
+    provision_delay: float = 0.0
+    metrics_bucket: float = 1.0
+
+    def __post_init__(self):
+        self.regions = tuple(self.regions)
+        if self.node_params not in NODE_PARAM_PRESETS:
+            raise ValueError(
+                f"unknown node_params preset {self.node_params!r}; "
+                f"expected one of {sorted(NODE_PARAM_PRESETS)}"
+            )
+
+    def resolve_node_params(self) -> NodeParams:
+        base = NODE_PARAM_PRESETS[self.node_params]()
+        if self.node_param_overrides:
+            return replace(base, **self.node_param_overrides)
+        return base
+
+
+@dataclass
+class WorkloadSpec(_SpecBase):
+    """What the clients do.  ``kind="none"`` runs a clientless scenario."""
+
+    kind: str = "ycsb"
+    clients: int = 0
+    granules: int = 200
+    keys_per_granule: int = 64
+    #: Restrict client binding to these nodes' key ranges (default: all).
+    bind_to_nodes: Optional[List[int]] = None
+    #: Client RNG seed = ``ScenarioSpec.seed * client_seed_factor``, so one
+    #: scenario seed drives both the cluster and the workload.
+    client_seed_factor: int = 977
+
+    def __post_init__(self):
+        if self.kind not in ("ycsb", "tpcc", "none"):
+            raise ValueError(f"unknown workload kind {self.kind!r}")
+        if self.bind_to_nodes is not None:
+            self.bind_to_nodes = list(self.bind_to_nodes)
+
+    @property
+    def num_keys(self) -> int:
+        return self.granules * self.keys_per_granule
+
+
+@dataclass
+class PhaseSpec(_SpecBase):
+    """One timed action on the scenario timeline.
+
+    ``action`` names an entry in the runner's action registry
+    (:data:`repro.experiments.runner.ACTIONS`): built-ins cover
+    ``scale_out`` / ``scale_in`` / ``clients_start`` / ``clients_stop`` /
+    ``autoscaler`` / ``membership_churn``; experiments may register more.
+    Phases run in ``(at, declaration order)``; blocking actions (scale
+    operations) run to completion before the timeline advances.
+    """
+
+    at: float = 0.0
+    action: str = "scale_out"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class FaultSpec(_SpecBase):
+    """Chaos schedule + the detector configuration it runs against.
+
+    ``schedule`` is the declarative entry list of
+    :meth:`repro.chaos.FaultSchedule.to_spec` (CHAOS.md vocabulary); an empty
+    list means "no injected faults" but still applies the detector knobs —
+    that is what detector-parameter sweeps vary.
+    """
+
+    schedule: List[Dict[str, Any]] = field(default_factory=list)
+    failure_detection: bool = False
+    detector_interval: float = 0.5
+    detector_timeout: float = 0.25
+    detector_misses: int = 3
+    #: Gate RecoveryMigrTxn on a suspicion vote (see core/suspicion.py):
+    #: a monitor that is itself suspected stands down instead of fencing.
+    detector_vote_gate: bool = True
+    #: Settle time after the schedule's horizon before quiescence checks.
+    settle: float = 1.0
+
+    def __post_init__(self):
+        self.schedule = _jsonify(list(self.schedule))
+
+    def to_schedule(self) -> Optional[FaultSchedule]:
+        if not self.schedule:
+            return None
+        return FaultSchedule.from_spec(self.schedule)
+
+    @classmethod
+    def from_schedule(cls, schedule: FaultSchedule, **kwargs) -> "FaultSpec":
+        return cls(schedule=_jsonify(schedule.to_spec()), **kwargs)
+
+
+@dataclass
+class ProbeSpec(_SpecBase):
+    """One SLO probe evaluated on the finished run.
+
+    Kinds:
+
+    * ``latency`` — ``pct``-percentile latency over the window <= threshold
+      (seconds);
+    * ``throughput_floor`` — mean committed tps over the window >= threshold;
+    * ``abort_ceiling`` — aborts / attempts over the window <= threshold;
+    * ``unavailability`` — longest zero-throughput stretch (seconds) within
+      the window <= threshold.
+    """
+
+    name: str = "slo"
+    kind: str = "latency"
+    threshold: float = 0.0
+    pct: float = 99.0
+    #: ``(t0, t1)`` absolute sim seconds; default = the whole run.
+    window: Optional[Tuple[float, float]] = None
+
+    KINDS = ("latency", "throughput_floor", "abort_ceiling", "unavailability")
+
+    def __post_init__(self):
+        if self.kind not in self.KINDS:
+            raise ValueError(
+                f"unknown probe kind {self.kind!r}; expected one of {self.KINDS}"
+            )
+        if self.window is not None:
+            self.window = tuple(self.window)
+
+
+@dataclass
+class ScenarioSpec(_SpecBase):
+    """One experiment cell: topology + workload + timeline + faults + SLOs.
+
+    Two end-of-run modes:
+
+    * ``duration=None`` (scale-out figures): the run ends ``tail`` seconds
+      after the last phase completes, extended past any fault schedule's
+      horizon — each system is measured over its own reconfiguration window
+      plus a stable after-phase, mirroring the paper's methodology;
+    * ``duration=T`` (dynamic / stress figures): fixed horizon, identical
+      measurement window for every system.
+    """
+
+    name: str = "scenario"
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    phases: List[PhaseSpec] = field(default_factory=list)
+    faults: Optional[FaultSpec] = None
+    probes: List[ProbeSpec] = field(default_factory=list)
+    seed: int = 1
+    warmup: float = 0.1
+    tail: float = 10.0
+    duration: Optional[float] = None
+    settle: float = 0.2
+    check_invariants: bool = True
+    #: ``run_until`` limit for blocking phase actions (scale operations).
+    run_limit: float = 3600.0
+
+    def with_(self, **kwargs) -> "ScenarioSpec":
+        """A modified copy (specs compose immutably in sweeps)."""
+        return replace(self, **kwargs)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "topology": self.topology.to_dict(),
+            "workload": self.workload.to_dict(),
+            "phases": [p.to_dict() for p in self.phases],
+            "faults": self.faults.to_dict() if self.faults else None,
+            "probes": [p.to_dict() for p in self.probes],
+            "seed": self.seed,
+            "warmup": self.warmup,
+            "tail": self.tail,
+            "duration": self.duration,
+            "settle": self.settle,
+            "check_invariants": self.check_invariants,
+            "run_limit": self.run_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        data = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"ScenarioSpec: unknown spec keys {sorted(unknown)}")
+        if "topology" in data:
+            data["topology"] = TopologySpec.from_dict(data["topology"] or {})
+        if "workload" in data:
+            data["workload"] = WorkloadSpec.from_dict(data["workload"] or {})
+        data["phases"] = [
+            PhaseSpec.from_dict(p) for p in data.get("phases") or ()
+        ]
+        if data.get("faults") is not None:
+            data["faults"] = FaultSpec.from_dict(data["faults"])
+        data["probes"] = [
+            ProbeSpec.from_dict(p) for p in data.get("probes") or ()
+        ]
+        return cls(**data)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "ScenarioSpec":
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+
+def scale_out_spec(
+    system: str,
+    *,
+    initial_nodes: int = 8,
+    added_nodes: int = 8,
+    clients: int = 100,
+    granules: int = 12_500,
+    keys_per_granule: int = 64,
+    scale_at: float = 5.0,
+    tail: float = 10.0,
+    workload: str = "ycsb",
+    regions: Sequence[str] = ("us-west",),
+    seed: int = 1,
+    node_params: Optional[NodeParams] = None,
+    check_invariants: bool = True,
+    fault_schedule: Optional[FaultSchedule] = None,
+    failure_detection: bool = False,
+    chaos_settle: float = 1.0,
+    probes: Sequence[ProbeSpec] = (),
+    name: Optional[str] = None,
+) -> ScenarioSpec:
+    """The canonical §6.2-§6.4 scale-out scenario as a spec.
+
+    Same parameter vocabulary as the retired ``run_scale_out_scenario``
+    harness entry point; every figure family builds on this shape.
+    """
+    preset, overrides = "experiment", {}
+    if node_params is not None:
+        preset, overrides = "default", asdict(node_params)
+    faults = None
+    if fault_schedule is not None or failure_detection:
+        faults = FaultSpec(
+            schedule=(
+                _jsonify(fault_schedule.to_spec()) if fault_schedule else []
+            ),
+            failure_detection=failure_detection,
+            settle=chaos_settle,
+        )
+    return ScenarioSpec(
+        name=name or f"scale-out-{system}",
+        topology=TopologySpec(
+            nodes=initial_nodes,
+            coordination=system,
+            regions=tuple(regions),
+            home_region=regions[0],
+            node_params=preset,
+            node_param_overrides=overrides,
+        ),
+        workload=WorkloadSpec(
+            kind=workload,
+            clients=clients,
+            granules=granules,
+            keys_per_granule=keys_per_granule,
+        ),
+        phases=[
+            PhaseSpec(at=scale_at, action="scale_out", params={"count": added_nodes})
+        ],
+        faults=faults,
+        probes=list(probes),
+        seed=seed,
+        tail=tail,
+        check_invariants=check_invariants,
+    )
+
+
+class Sweep:
+    """A base spec expanded over named axes into the full experiment grid.
+
+    Axis keys are dotted paths into the spec dict (``"seed"``,
+    ``"topology.coordination"``, ``"faults.detector_interval"``,
+    ``"phases.0.params.count"``); values are the list of settings to grid
+    over.  ``expand()`` yields every combination in axis-declaration order
+    (last axis fastest), each as a fresh :class:`ScenarioSpec` named
+    ``base[k=v,...]``.
+    """
+
+    def __init__(self, base: ScenarioSpec, axes: Dict[str, Sequence[Any]]):
+        if not axes:
+            raise ValueError("Sweep needs at least one axis")
+        self.base = base
+        self.axes: Dict[str, List[Any]] = {
+            path: list(values) for path, values in axes.items()
+        }
+        for path, values in self.axes.items():
+            if not values:
+                raise ValueError(f"sweep axis {path!r} has no values")
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    @staticmethod
+    def _set_path(data: Dict[str, Any], path: str, value: Any) -> None:
+        parts = path.split(".")
+        target = data
+        for part in parts[:-1]:
+            if isinstance(target, list):
+                target = target[int(part)]
+            else:
+                if target.get(part) is None:
+                    target[part] = {}
+                target = target[part]
+        leaf = parts[-1]
+        if isinstance(target, list):
+            target[int(leaf)] = value
+        else:
+            target[leaf] = value
+
+    @staticmethod
+    def point_label(point: Dict[str, Any]) -> str:
+        return ",".join(
+            f"{path.rsplit('.', 1)[-1]}={value}" for path, value in point.items()
+        )
+
+    def points(self) -> Iterator[Dict[str, Any]]:
+        paths = list(self.axes)
+        for combo in itertools.product(*(self.axes[p] for p in paths)):
+            yield dict(zip(paths, combo))
+
+    def expand(self) -> Iterator[Tuple[Dict[str, Any], ScenarioSpec]]:
+        for point in self.points():
+            data = self.base.to_dict()
+            for path, value in point.items():
+                self._set_path(data, path, value)
+            spec = ScenarioSpec.from_dict(data)
+            spec.name = f"{self.base.name}[{self.point_label(point)}]"
+            yield point, spec
+
+    def run(self, runner=None) -> List[Tuple[Dict[str, Any], Any]]:
+        """Run every cell; returns ``[(point, SpecRunResult), ...]``."""
+        if runner is None:
+            from repro.experiments.runner import run_spec as runner
+        return [(point, runner(spec)) for point, spec in self.expand()]
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"base": self.base.to_dict(), "axes": _jsonify(dict(self.axes))}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Sweep":
+        return cls(ScenarioSpec.from_dict(data["base"]), data["axes"])
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Sweep)
+            and self.base == other.base
+            and self.axes == other.axes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Sweep({self.base.name!r}, axes={list(self.axes)}, cells={len(self)})"

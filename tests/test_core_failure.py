@@ -162,6 +162,95 @@ class TestEndToEndDetection:
         live = [cluster.nodes[n] for n in cluster.live_node_ids()]
         check_view_consistency(live, cluster.gmap.num_granules)
 
+    def test_symmetric_partition_no_mutual_fencing(self):
+        """The suspicion-vote gate (ISSUE 3) breaks the fencing cascade.
+
+        A symmetrically-partitioned node misses everyone's heartbeats *and*
+        everyone misses its own, so pre-gate both directions fenced: the
+        cluster fenced the victim and the victim — through still-reachable
+        storage — fenced its healthy ring successor.  With the (default) vote
+        gate, votes serialize through SysLog and the victim, seeing the vote
+        against itself, stands down: only the genuinely unreachable node is
+        fenced.
+        """
+        from repro.chaos import FaultSchedule, Partition
+
+        schedule = FaultSchedule().at(
+            1.0, Partition(groups=((1,), (0, 2, 3)), duration=4.0)
+        )
+        # Gate on (the default): only node 1 is fenced.
+        cluster = make_cluster(
+            "marlin", num_nodes=4, num_keys=4096, seed=31,
+            failure_detection=True,
+        )
+        cluster.chaos.run_schedule(schedule)
+        cluster.run(until=10.0)
+        fenced = {dead for _t, dead, _g in cluster.metrics.failovers}
+        assert fenced == {1}
+        members = sorted(
+            k for k in cluster.ground_truth_mtable() if isinstance(k, int)
+        )
+        assert members == [0, 2, 3]
+        assert sum(d.stand_downs for d in cluster.detectors.values()) >= 1
+        # Vote hygiene: no suspicion rows left behind in MTable.
+        assert all(
+            isinstance(k, int) for k in cluster.ground_truth_mtable()
+        )
+        # The fenced-but-alive victim refreshes and rejoins cleanly.
+        victim = cluster.nodes[1]
+        run_gen(cluster, victim.runtime.handle_cas_failure(victim.glog))
+        run_gen(cluster, victim.runtime.handle_cas_failure(SYSLOG))
+        assert run_gen(cluster, victim.runtime.add_node())
+        cluster.settle(0.5)
+        check_invariants(
+            cluster.ground_truth_gtable(), cluster.gmap.num_granules,
+            cluster.ground_truth_mtable(),
+        )
+
+    def test_mutual_monitor_pair_survives_symmetric_partition(self):
+        """A 2-node cluster is a mutual-monitor pair: under a transient
+        symmetric partition, the ungated detectors fence *each other* and
+        wipe the whole membership; with the vote gate both sides see the
+        vote against themselves and stand down — no fencing, cluster intact.
+        """
+        from repro.chaos import FaultSchedule, Partition
+
+        cluster = make_cluster(
+            "marlin", num_nodes=2, num_keys=2048, seed=13,
+            failure_detection=True,
+        )
+        cluster.chaos.run_schedule(
+            FaultSchedule().at(1.0, Partition(groups=((0,), (1,)), duration=4.0))
+        )
+        cluster.run(until=10.0)
+        assert cluster.metrics.failovers == []
+        members = sorted(
+            k for k in cluster.ground_truth_mtable() if isinstance(k, int)
+        )
+        assert members == [0, 1]
+        assert sum(d.stand_downs for d in cluster.detectors.values()) >= 2
+        cluster.settle(0.5)
+        check_invariants(
+            cluster.ground_truth_gtable(), cluster.gmap.num_granules,
+            cluster.ground_truth_mtable(),
+        )
+
+    def test_symmetric_partition_cascades_without_gate(self):
+        """Documents the pre-gate behavior: both directions fence."""
+        from repro.chaos import FaultSchedule, Partition
+
+        cluster = make_cluster(
+            "marlin", num_nodes=4, num_keys=4096, seed=31,
+            failure_detection=True, detector_vote_gate=False,
+        )
+        cluster.chaos.run_schedule(
+            FaultSchedule().at(1.0, Partition(groups=((1,), (0, 2, 3)), duration=4.0))
+        )
+        cluster.run(until=10.0)
+        fenced = {dead for _t, dead, _g in cluster.metrics.failovers}
+        # The isolated node fenced its healthy ring successor through storage.
+        assert 1 in fenced and len(fenced) > 1
+
     def test_revived_node_is_fenced(self):
         """After failover, the revived node cannot commit on stolen granules."""
         cluster = make_cluster(

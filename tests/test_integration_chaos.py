@@ -292,3 +292,71 @@ class TestBaselineParity:
             for g in node.owned_granules():
                 merged[g] = node.node_id
         assert service_map == merged
+
+
+class TestCoordinationServiceOutage:
+    """Chaos for the external coordination service endpoint itself (ISSUE 3).
+
+    ``Cluster.service`` ("zk" / "fdb") is an addressable actor like any
+    node, so ``coordination_outage`` can partition it away from the compute
+    plane.  The paper's availability argument in schedule form: the
+    baselines' *data* path never touches the service, so user transactions
+    ride the outage out — but every control-plane operation stalls until the
+    partition heals.
+    """
+
+    def test_zk_outage_stalls_control_plane_not_data_plane(self):
+        from repro.chaos import coordination_outage
+        from repro.sim.rpc import RpcTimeout
+
+        cluster = make_cluster("zk-small", num_nodes=2, num_keys=2048, seed=41)
+        schedule = coordination_outage(
+            [0, 1], at=1.0, duration=1.5, service="zk",
+            extra_endpoints=("admin",),
+        )
+        cluster.chaos.run_schedule(schedule)
+        cluster.run(until=0.05)
+        _router, clients = start_clients(cluster, count=4)
+        cluster.run(until=1.2)
+        committed_before = cluster.metrics.total_committed
+        # Control plane: a service read from inside the partition times out.
+        fut = cluster.admin.call("zk", "zk_scan", "/members/", timeout=0.5)
+        with pytest.raises(RpcTimeout):
+            cluster.sim.run_until(fut, limit=5.0)
+        cluster.run(until=2.4)
+        # Data plane: user transactions kept committing through the outage.
+        assert cluster.metrics.total_committed > committed_before + 100
+        cluster.run(until=3.0)  # past the heal at t=2.5
+        fut = cluster.admin.call("zk", "zk_scan", "/members/", timeout=0.5)
+        members = cluster.sim.run_until(fut, limit=5.0)
+        assert set(members) == {"/members/0", "/members/1"}
+        # Reconfiguration works again end to end.
+        summary = run_gen(cluster, cluster.scale_out(1))
+        assert summary["migrated"] > 0
+        for c in clients:
+            c.stop()
+        cluster.settle(0.5)
+        # Post-heal consistency: live views are exclusive and the service's
+        # authoritative map agrees with them (membership lives in the
+        # service for the baselines, not in the SysLog ground truth).
+        live = [cluster.nodes[n] for n in cluster.live_node_ids()]
+        check_view_consistency(live, cluster.gmap.num_granules)
+        service_members = {
+            int(path.split("/")[-1])
+            for path in cluster.service.data
+            if path.startswith("/members/")
+        }
+        assert service_members == {0, 1, 2}
+        assert [phase for _t, phase, _e in cluster.chaos.fault_log] == [
+            "inject", "clear",
+        ]
+
+    def test_fdb_outage_schedule_round_trips(self):
+        """The outage scenario serializes like any other schedule."""
+        from repro.chaos import FaultSchedule, coordination_outage
+
+        schedule = coordination_outage([0, 1, 2], at=2.0, duration=1.0,
+                                       service="fdb")
+        rebuilt = FaultSchedule.from_spec(schedule.to_spec())
+        assert rebuilt.to_spec() == schedule.to_spec()
+        assert schedule.horizon == 3.0
