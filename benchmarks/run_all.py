@@ -8,15 +8,23 @@ This is the perf trajectory anchor for the repo: each kernel-touching PR runs
 and commits the JSON so events/sec regressions are visible in review.  With
 ``--baseline`` the previous report (or a raw ``{bench: {...}}`` results dump)
 is embedded and per-bench speedups are computed on the throughput metric.
+
+Besides the kernel micro-benches the report carries a ``"sweep"`` section:
+serial vs. parallel wall-clock of the detector-sweep grid through
+``Sweep.run(workers=N)`` (the PR 4 process-pool runner), with a
+bit-identity cross-check between the two runs.  ``--skip-sweep`` omits it
+for kernel-only runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
+import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -37,6 +45,50 @@ RATE_METRIC = {
 }
 
 
+#: Workers for the parallel leg; 4 matches the acceptance grid ("a 4-worker
+#: run on a 4-core machine") — on fewer cores the measured speedup degrades
+#: toward time-slicing parity, so ``cpu_count`` is recorded alongside.
+SWEEP_WORKERS = 4
+
+
+def run_sweep_bench(quick: bool) -> dict:
+    """Serial vs. parallel wall-clock for the detector-sweep grid."""
+    from repro.experiments.detector_sweep import build_sweep
+
+    if quick:
+        sweep = build_sweep(
+            scale=0.2, intervals=(0.25, 1.0), misses=(1, 4), vote_gate=(True,)
+        )
+    else:
+        sweep = build_sweep(scale=0.5)
+    t0 = time.perf_counter()
+    serial = sweep.run()
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = sweep.run(workers=SWEEP_WORKERS)
+    parallel_s = time.perf_counter() - t0
+    # A failed parallel cell must abort the report loudly (with the
+    # structured failure), not crash the comparison below.
+    from repro.experiments.parallel import raise_failures
+
+    raise_failures([cell for _point, cell in parallel], context="sweep bench")
+    # Full summaries (commits, aborts, latency p99, cost, probe verdicts),
+    # not just counters — the docs promise a real bit-identity cross-check.
+    identical = all(
+        s.summary() == p.summary()
+        for (_ps, s), (_pp, p) in zip(serial, parallel)
+    )
+    return {
+        "cells": len(sweep),
+        "workers": SWEEP_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
+        "bit_identical": identical,
+    }
+
+
 def _load_baseline(path: pathlib.Path) -> dict:
     data = json.loads(path.read_text())
     # Accept either a full report ({"results": {...}}) or a bare results dump.
@@ -51,6 +103,8 @@ def main(argv=None) -> dict:
                         help="write the JSON report here (default: stdout only)")
     parser.add_argument("--baseline", type=pathlib.Path, default=None,
                         help="previous report to embed and compute speedups against")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="skip the serial-vs-parallel sweep wall-clock section")
     args = parser.parse_args(argv)
 
     baseline = None
@@ -77,6 +131,16 @@ def main(argv=None) -> dict:
         },
         "results": results,
     }
+    if not args.skip_sweep:
+        report["sweep"] = sweep = run_sweep_bench(args.quick)
+        print(
+            f"{'sweep_parallel':16s} cells={sweep['cells']} "
+            f"serial={sweep['serial_s']}s parallel={sweep['parallel_s']}s "
+            f"({sweep['workers']} workers on {sweep['cpu_count']} cpus, "
+            f"speedup={sweep['speedup']}x, "
+            f"bit_identical={sweep['bit_identical']})",
+            flush=True,
+        )
     if baseline is not None:
         report["baseline"] = baseline
         speedup = {}

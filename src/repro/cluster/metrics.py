@@ -38,6 +38,7 @@ class MetricsCollector:
         self._lat_buckets = array("q")
         self._max_lat_bucket = -1
         self.migration_latencies = array("d")
+        self._migration_lat_buckets = array("q")
         self.failovers: List[Tuple[float, int, int]] = []
         #: (time, node_count) step function for realtime cost integration;
         #: appended in nondecreasing time order (enforced by record_node_count).
@@ -81,6 +82,7 @@ class MetricsCollector:
             self.last_migration = t
         if latency is not None:
             self.migration_latencies.append(latency)
+            self._migration_lat_buckets.append(self._bucket(t))
         self._version += 1
 
     def record_failover(self, t: float, dead_id: int, granules: int) -> None:
@@ -95,6 +97,14 @@ class MetricsCollector:
             )
         events.append((t, count))
 
+    def __getstate__(self):
+        # Collectors cross process boundaries in parallel sweeps; the memo
+        # cache holds numpy views over the packed buffers, so drop it rather
+        # than ship (or deep-copy) derived data.
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
+
     # -- back-compat view --------------------------------------------------------
 
     @property
@@ -102,12 +112,17 @@ class MetricsCollector:
         """Per-bucket latency samples, materialised from the streaming store.
 
         Cold-path convenience only; the collector no longer keeps per-bucket
-        Python lists internally.
+        Python lists internally.  Memoised — per-window SLO probes read it
+        once per sub-window; treat the returned dict as read-only.
         """
-        out: Dict[int, List[float]] = defaultdict(list)
-        for b, value in zip(self._lat_buckets, self._lat_values):
-            out[b].append(value)
-        return out
+
+        def build():
+            out: Dict[int, List[float]] = defaultdict(list)
+            for b, value in zip(self._lat_buckets, self._lat_values):
+                out[b].append(value)
+            return out
+
+        return self._cached(("lat-buckets",), build)
 
     # -- derived series ------------------------------------------------------------
 
@@ -198,6 +213,22 @@ class MetricsCollector:
         if self.first_migration is None or self.last_migration is None:
             return 0.0
         return self.last_migration - self.first_migration
+
+    def migration_latency_buckets(self) -> Dict[int, List[float]]:
+        """Per-bucket migration latencies (windowed SLO probes read this).
+
+        Memoised — series probes call it once per sub-window.  Treat the
+        returned dict as read-only.
+        """
+
+        def build():
+            out: Dict[int, List[float]] = defaultdict(list)
+            pairs = zip(self._migration_lat_buckets, self.migration_latencies)
+            for b, value in pairs:
+                out[b].append(value)
+            return out
+
+        return self._cached(("migr-lat-buckets",), build)
 
     def migration_latency_stats(self) -> Dict[str, float]:
         if not self.migration_latencies:

@@ -298,6 +298,7 @@ class ExternalRuntime(CoordinationRuntime):
     def recover_granules(self, dead_id: int, granules: Iterable[int]) -> Generator:
         """Service-arbitrated failover: flip each entry in the service."""
         node = self.node
+        started = node.sim.now
         taken: List[int] = []
         for granule in granules:
             yield from self._through_session(
@@ -305,6 +306,13 @@ class ExternalRuntime(CoordinationRuntime):
             )
             node.gtable[granule] = node.node_id
             taken.append(granule)
+        if taken and node.metrics is not None:
+            # Mirror MarlinRuntime.recover_granules: one migration per taken
+            # granule at the batch's suspicion-to-commit latency, so the
+            # migration-latency SLO compares systems on equal footing.
+            latency = node.sim.now - started
+            for _granule in taken:
+                node.metrics.record_migration(node.sim.now, latency=latency)
         return taken
 
     def scan_ownership(self) -> Generator:

@@ -166,6 +166,7 @@ class MarlinRuntime(CoordinationRuntime):
 
     def recover_granules(self, dead_id: int, granules: Iterable[int]) -> Generator:
         granules = list(granules)
+        started = self.node.sim.now
 
         def attempt():
             def inner():
@@ -179,7 +180,16 @@ class MarlinRuntime(CoordinationRuntime):
         result = yield from reconfig.run_with_retries(self.node, attempt)
         if result is False:
             raise TxnAborted(AbortReason.CAS_CONFLICT, "recovery kept conflicting")
-        return result[1]
+        taken = result[1]
+        node = self.node
+        if taken and node.metrics is not None:
+            # RecoveryMigrTxn is a (batched) migration: each taken granule
+            # counts as one migration whose latency is the whole batch's
+            # suspicion-to-commit time — the window the granule was dark.
+            latency = node.sim.now - started
+            for _granule in taken:
+                node.metrics.record_migration(node.sim.now, latency=latency)
+        return taken
 
     def scan_ownership(self) -> Generator:
         return (yield from reconfig.scan_gtable_txn(self))

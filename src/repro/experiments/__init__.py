@@ -35,6 +35,12 @@ from repro.experiments.harness import (
     ScenarioResult,
     run_scale_out_scenario,
 )
+from repro.experiments.parallel import (
+    CellFailure,
+    PortableRunResult,
+    ProcessPoolRunner,
+    run_cells,
+)
 from repro.experiments.runner import SpecRunResult, run_spec
 from repro.experiments.spec import (
     FaultSpec,
@@ -62,12 +68,15 @@ FIGURES = {
 }
 
 __all__ = [
+    "CellFailure",
     "EXP_NODE_PARAMS",
     "FIGURES",
     "FaultSpec",
     "FigureResult",
     "PhaseSpec",
+    "PortableRunResult",
     "ProbeSpec",
+    "ProcessPoolRunner",
     "ScenarioResult",
     "ScenarioSpec",
     "SpecRunResult",
@@ -84,6 +93,7 @@ __all__ = [
     "fig13",
     "fig14",
     "fig15",
+    "run_cells",
     "run_scale_out_scenario",
     "run_spec",
     "scale_out_spec",

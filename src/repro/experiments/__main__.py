@@ -5,14 +5,17 @@ Commands::
     python -m repro.experiments list [--json]
     python -m repro.experiments run fig8 --scale 0.25 [--seed N]
         [--systems marlin,zk-small] [--clients N] [--json] [--series]
-    python -m repro.experiments run path/to/spec.json [--json]
+        [--workers N]
+    python -m repro.experiments run path/to/spec.json [--json] [--workers N]
 
 ``run <figure>`` executes a registered figure (see ``list``) and prints its
 table (or ``--json``).  ``run <file.json>`` loads an ad-hoc
 :class:`~repro.experiments.spec.ScenarioSpec` — or a
 :class:`~repro.experiments.spec.Sweep` when the file has an ``"axes"`` key —
 executes it through ``run_spec``, and prints the run summaries (probe
-verdicts included).  See EXPERIMENTS.md for the spec format.
+verdicts included).  ``--workers N`` runs grid cells on a process pool
+(sweep figures and sweep spec files; seeded results stay bit-identical to
+serial — see EXPERIMENTS.md "Parallel execution").
 """
 
 from __future__ import annotations
@@ -58,6 +61,10 @@ def _run_figure(name: str, args) -> Dict[str, Any]:
         if "clients" not in supported:
             raise SystemExit(f"{name} does not take --clients")
         kwargs["clients"] = args.clients
+    if args.workers is not None:
+        if "workers" not in supported:
+            raise SystemExit(f"{name} does not take --workers (not a sweep figure)")
+        kwargs["workers"] = args.workers
     fig = module.run(**kwargs)
     return fig.to_dict(include_series=args.series)
 
@@ -68,11 +75,18 @@ def _run_spec_file(path: str, args) -> Any:
     if isinstance(data, dict) and "axes" in data:
         sweep = Sweep.from_dict(data)
         out = []
-        for point, result in sweep.run():
+        # Failed cells surface as failure-shaped summaries (CellFailure),
+        # not a dead grid.
+        for point, result in sweep.run(workers=args.workers):
             summary = result.summary()
             summary["point"] = point
             out.append(summary)
         return out
+    if args.workers is not None:
+        raise SystemExit(
+            f"{path} is a single ScenarioSpec (no \"axes\" key); "
+            "--workers only applies to sweeps"
+        )
     result = run_spec(ScenarioSpec.from_dict(data))
     return result.summary()
 
@@ -119,6 +133,11 @@ def main(argv=None) -> int:
     p_run.add_argument(
         "--series", action="store_true",
         help="include the per-bucket time series in --json output",
+    )
+    p_run.add_argument(
+        "--workers", type=int, default=None,
+        help="run sweep cells on N worker processes (sweep figures and "
+             "sweep spec files; results are bit-identical to serial)",
     )
 
     args = parser.parse_args(argv)

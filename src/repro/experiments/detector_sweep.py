@@ -12,7 +12,9 @@ false fencings on the partition leg of the schedule.
 
 Pure spec composition: one base :class:`ScenarioSpec` expanded by
 :class:`Sweep` over ``faults.detector_interval`` x ``faults.detector_misses``
-x ``faults.detector_vote_gate``.
+x ``faults.detector_vote_gate``.  The 18-cell grid is the repo's canonical
+parallel-sweep workload: ``run(workers=N)`` / ``--workers N`` farm cells out
+to a process pool with bit-identical results.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.harness import FigureResult, scaled
+from repro.experiments.parallel import raise_failures
 from repro.experiments.spec import (
     FaultSpec,
     ScenarioSpec,
@@ -117,6 +120,7 @@ def run(
     misses: Sequence[int] = MISSES,
     vote_gate: Sequence[bool] = (False, True),
     results=None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     if results is None:
         sweep = build_sweep(
@@ -126,7 +130,10 @@ def run(
             misses=misses,
             vote_gate=vote_gate,
         )
-        results = sweep.run()
+        results = sweep.run(workers=workers)
+        raise_failures(
+            [cell for _point, cell in results], context="detector_sweep"
+        )
     return summarize(results)
 
 

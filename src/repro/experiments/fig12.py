@@ -23,7 +23,7 @@ from repro.experiments.harness import (
     SYSTEM_LABELS,
     scaled,
 )
-from repro.experiments.runner import run_spec
+from repro.experiments.parallel import raise_failures, run_cells
 from repro.experiments.spec import scale_out_spec
 
 __all__ = ["SCALE_OUTS", "run", "run_sweep", "summarize"]
@@ -46,24 +46,33 @@ def run_sweep(
     seed: int = 1,
     scale_outs: Sequence[Tuple[str, int, int, int]] = SCALE_OUTS,
     regions: Tuple[str, ...] = ("us-west",),
+    workers: Optional[int] = None,
 ) -> Dict[Tuple[str, str], ScenarioResult]:
-    results: Dict[Tuple[str, str], ScenarioResult] = {}
+    """The (scale-out x system) grid; ``workers > 1`` runs cells on a
+    :class:`~repro.experiments.parallel.ProcessPoolRunner` (seeded results
+    are bit-identical to the serial path)."""
+    keys: List[Tuple[str, str]] = []
+    specs = []
     for name, initial, clients, granules in scale_outs:
         for system in systems:
-            spec = scale_out_spec(
-                system,
-                initial_nodes=initial,
-                added_nodes=initial,
-                clients=scaled(clients, scale),
-                granules=scaled(granules, scale, minimum=8 * initial),
-                scale_at=2.0,
-                tail=5.0,
-                regions=regions,
-                seed=seed,
-                name=f"fig12-{name}-{system}",
+            keys.append((name, system))
+            specs.append(
+                scale_out_spec(
+                    system,
+                    initial_nodes=initial,
+                    added_nodes=initial,
+                    clients=scaled(clients, scale),
+                    granules=scaled(granules, scale, minimum=8 * initial),
+                    scale_at=2.0,
+                    tail=5.0,
+                    regions=regions,
+                    seed=seed,
+                    name=f"fig12-{name}-{system}",
+                )
             )
-            results[(name, system)] = run_spec(spec)
-    return results
+    results = run_cells(specs, workers=workers)
+    raise_failures(results, context="fig12")
+    return dict(zip(keys, results))
 
 
 def summarize(
@@ -124,9 +133,10 @@ def run(
     systems: Sequence[str] = ALL_SYSTEMS,
     seed: int = 1,
     results: Optional[Dict[Tuple[str, str], ScenarioResult]] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     if results is None:
-        results = run_sweep(scale=scale, systems=systems, seed=seed)
+        results = run_sweep(scale=scale, systems=systems, seed=seed, workers=workers)
     return summarize(results)
 
 

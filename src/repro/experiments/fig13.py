@@ -30,6 +30,7 @@ def run_sweep(
     systems: Sequence[str] = fig12.ALL_SYSTEMS,
     seed: int = 1,
     scale_outs: Sequence[Tuple[str, int, int, int]] = GEO_SCALE_OUTS,
+    workers: Optional[int] = None,
 ) -> Dict[Tuple[str, str], ScenarioResult]:
     return fig12.run_sweep(
         scale=scale,
@@ -37,6 +38,7 @@ def run_sweep(
         seed=seed,
         scale_outs=scale_outs,
         regions=tuple(AZURE_REGIONS),
+        workers=workers,
     )
 
 
@@ -63,9 +65,10 @@ def run(
     systems: Sequence[str] = fig12.ALL_SYSTEMS,
     seed: int = 1,
     results: Optional[Dict[Tuple[str, str], ScenarioResult]] = None,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     if results is None:
-        results = run_sweep(scale=scale, systems=systems, seed=seed)
+        results = run_sweep(scale=scale, systems=systems, seed=seed, workers=workers)
     return summarize(results)
 
 

@@ -1,0 +1,432 @@
+"""Parallel sweep execution: a process pool over expanded experiment cells.
+
+The §6 grids (fig12/13, the detector sweep) are dozens of independent
+seeded simulations; since PR 3 every cell is a pure-data
+:class:`~repro.experiments.spec.ScenarioSpec`, so the obvious way to make
+full-paper-scale grids fast is to farm cells out to worker processes, one
+simulator per worker.  :class:`ProcessPoolRunner` does exactly that, with
+three properties the naive ``multiprocessing.Pool.map`` does not give you:
+
+* **Determinism** — cells are shipped as their JSON-round-trippable dicts
+  and re-hydrated with ``ScenarioSpec.from_dict`` in the worker, so a worker
+  runs *exactly* what the serial path would (same spec, same seed, its own
+  fresh simulator); results land in a slot keyed by cell index, never by
+  completion order.  A seeded parallel sweep is bit-identical to serial.
+* **Failure isolation** — a cell that raises, a worker process that dies
+  (segfault, OOM-kill, ``os._exit``), or a cell that exceeds the per-cell
+  wall-clock ``timeout`` becomes a structured :class:`CellFailure` in that
+  cell's result slot while every other cell completes.  No hung grids, no
+  lost grids.
+* **Portable results** — a finished run's measurements cross the process
+  boundary as a :class:`PortableRunResult`: the cell's
+  :class:`~repro.cluster.metrics.MetricsCollector`, cost report, probe
+  verdicts and extras, detached from the (unpicklable, generator-laden)
+  live cluster.  It exposes the same reading surface as
+  :class:`~repro.experiments.runner.SpecRunResult`, so figure summarizers
+  work on either.
+
+Entry points: ``Sweep.run(workers=N)``, the figure modules'
+``run(..., workers=N)``, ``python -m repro.experiments run ... --workers N``,
+or :func:`run_cells` / :class:`ProcessPoolRunner` directly.  See
+EXPERIMENTS.md "Parallel execution".
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_mod
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cost import CostReport
+from repro.experiments.runner import ProbeResult, result_summary, run_spec
+from repro.experiments.spec import ScenarioSpec
+
+__all__ = [
+    "CellFailure",
+    "PortableRunResult",
+    "ProcessPoolRunner",
+    "default_workers",
+    "raise_failures",
+    "run_cells",
+]
+
+
+def default_workers() -> int:
+    """Default pool size: one worker per CPU (cells are CPU-bound sims)."""
+    return os.cpu_count() or 1
+
+
+@dataclass
+class PortableRunResult:
+    """A finished cell's measurements, shipped back from a worker process.
+
+    Duck-types the reading surface of
+    :class:`~repro.experiments.runner.SpecRunResult` (``metrics``, ``cost``,
+    series accessors, ``probes``, ``slo_ok``, ``summary()``) minus the live
+    ``cluster``, which never crosses the process boundary.
+    """
+
+    system: str
+    duration: float
+    spec: ScenarioSpec
+    metrics: Any  # the cell's MetricsCollector, detached from its cluster
+    cost_report: CostReport
+    scale_summaries: List[dict] = field(default_factory=list)
+    probes: List[ProbeResult] = field(default_factory=list)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    #: Distinguishes results from :class:`CellFailure` without isinstance.
+    ok = True
+
+    @property
+    def cost(self) -> CostReport:
+        return self.cost_report
+
+    @property
+    def migration_duration(self) -> float:
+        return self.metrics.migration_duration
+
+    @property
+    def slo_ok(self) -> bool:
+        return all(p.ok for p in self.probes)
+
+    def throughput_series(self):
+        return self.metrics.throughput_series(self.duration)
+
+    def migration_series(self):
+        return self.metrics.migration_series(self.duration)
+
+    def abort_series(self):
+        return self.metrics.abort_ratio_series(self.duration)
+
+    def latency_series(self, pct=50.0):
+        return self.metrics.latency_series(self.duration, pct=pct)
+
+    def summary(self) -> Dict[str, Any]:
+        return result_summary(self)
+
+    @classmethod
+    def from_run(cls, result) -> "PortableRunResult":
+        """Detach a :class:`SpecRunResult` from its cluster (cost is priced
+        now, while the cluster is still around)."""
+        return cls(
+            system=result.system,
+            duration=result.duration,
+            spec=result.spec,
+            metrics=result.metrics,
+            cost_report=result.cost,
+            scale_summaries=list(result.scale_summaries),
+            probes=list(result.probes),
+            extras=dict(result.extras),
+        )
+
+
+@dataclass
+class CellFailure:
+    """Structured per-cell error from a parallel sweep.
+
+    ``kind`` is one of ``"error"`` (the cell raised inside the worker),
+    ``"crash"`` (the worker process died mid-cell; ``exitcode`` holds how)
+    or ``"timeout"`` (the cell exceeded the runner's per-cell wall-clock
+    budget and its worker was terminated).
+    """
+
+    index: int
+    name: str
+    kind: str
+    error: str
+    message: str
+    traceback: str = ""
+    exitcode: Optional[int] = None
+
+    ok = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "index": self.index,
+            "name": self.name,
+            "failed": True,
+            "kind": self.kind,
+            "error": self.error,
+            "message": self.message,
+        }
+        if self.exitcode is not None:
+            out["exitcode"] = self.exitcode
+        return out
+
+    def summary(self) -> Dict[str, Any]:
+        """Failure-shaped stand-in for ``SpecRunResult.summary()`` so sweep
+        reports stay uniform when some cells failed."""
+        return self.to_dict()
+
+    def __str__(self) -> str:
+        code = f", exitcode {self.exitcode}" if self.exitcode is not None else ""
+        return f"cell {self.index} ({self.name}): {self.kind}{code}: {self.message}"
+
+
+def _worker_main(task_q, result_q) -> None:
+    """Worker loop: pull ``(index, spec_dict)`` tasks until the sentinel.
+
+    The module import re-registers every figure's phase actions when the
+    pool uses the ``spawn`` start method (``fork`` children inherit them).
+    A failing cell must not take the worker down, so everything — including
+    result pickling, which would otherwise fail silently in the queue's
+    feeder thread — happens under the try.
+    """
+    import repro.experiments  # noqa: F401  (populates the action registry)
+
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        index, spec_data = task
+        try:
+            spec = ScenarioSpec.from_dict(spec_data)
+            result = run_spec(spec)
+            payload = pickle.dumps(
+                PortableRunResult.from_run(result),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            result_q.put((index, "ok", payload))
+        except BaseException as exc:
+            result_q.put(
+                (
+                    index,
+                    "error",
+                    (type(exc).__name__, str(exc), traceback.format_exc()),
+                )
+            )
+
+
+class _Worker:
+    """One pool slot: a process, its private task queue, and what it holds."""
+
+    def __init__(self, ctx, result_q):
+        self.task_q = ctx.SimpleQueue()
+        self.proc = ctx.Process(
+            target=_worker_main, args=(self.task_q, result_q), daemon=True
+        )
+        self.proc.start()
+        self.current: Optional[int] = None
+        self.started = 0.0
+
+    def assign(self, index: int, payload: Dict[str, Any]) -> None:
+        self.current = index
+        self.started = time.monotonic()
+        self.task_q.put((index, payload))
+
+    def retire(self) -> None:
+        """Ask a live worker to exit once its queue drains."""
+        self.task_q.put(None)
+
+    def kill(self) -> None:
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join(timeout=5.0)
+
+
+class ProcessPoolRunner:
+    """Run :class:`ScenarioSpec` cells across worker processes.
+
+    Parameters:
+
+    * ``workers`` — pool size (default: :func:`default_workers`); capped at
+      the number of cells.
+    * ``timeout`` — optional per-cell wall-clock budget in seconds; a cell
+      that exceeds it has its worker terminated and yields a
+      :class:`CellFailure` of kind ``"timeout"``.
+    * ``start_method`` — ``multiprocessing`` start method; default prefers
+      ``fork`` (cheap, inherits registered custom actions) and falls back to
+      the platform default where ``fork`` is unavailable.
+
+    ``run(specs)`` returns one entry per input spec, in input order:
+    a :class:`PortableRunResult`, or a :class:`CellFailure`.
+    """
+
+    #: Parent poll interval: bounds both crash-detection and timeout slack.
+    _POLL_S = 0.1
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        start_method: Optional[str] = None,
+    ):
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.timeout = timeout
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> List[Any]:
+        specs = list(specs)
+        if not specs:
+            return []
+        payloads = [spec.to_dict() for spec in specs]
+        names = [spec.name for spec in specs]
+        n = len(specs)
+        ctx = mp.get_context(self.start_method)
+        result_q = ctx.Queue()
+        pool = [_Worker(ctx, result_q) for _ in range(min(self.workers, n))]
+        pending = deque(range(n))
+        results: List[Any] = [None] * n
+        done = 0
+
+        def feed(worker: _Worker) -> None:
+            if pending:
+                index = pending.popleft()
+                worker.assign(index, payloads[index])
+            else:
+                worker.current = None
+                worker.retire()
+
+        def settle(index: int, outcome: Any) -> int:
+            """Record a cell outcome once; late duplicates are dropped."""
+            if results[index] is not None:
+                return 0
+            results[index] = outcome
+            for worker in pool:
+                if worker.current == index:
+                    worker.current = None
+                    feed(worker)
+                    break
+            return 1
+
+        def drain(block: bool) -> int:
+            settled = 0
+            while True:
+                try:
+                    if block:
+                        item = result_q.get(timeout=self._POLL_S)
+                    else:
+                        item = result_q.get_nowait()
+                except queue_mod.Empty:
+                    return settled
+                index, status, payload = item
+                if status == "ok":
+                    settled += settle(index, pickle.loads(payload))
+                else:
+                    error, message, tb = payload
+                    settled += settle(
+                        index,
+                        CellFailure(
+                            index=index,
+                            name=names[index],
+                            kind="error",
+                            error=error,
+                            message=message,
+                            traceback=tb,
+                        ),
+                    )
+                block = False  # after one blocking get, sweep the backlog
+
+        try:
+            for worker in pool:
+                feed(worker)
+            while done < n:
+                done += drain(block=True)
+                now = time.monotonic()
+                for slot, worker in enumerate(pool):
+                    if worker.current is None:
+                        continue
+                    index = worker.current
+                    if not worker.proc.is_alive():
+                        # The result may have raced the exit: sweep the
+                        # queue once more before declaring a crash.
+                        done += drain(block=False)
+                        if worker.current is None:
+                            continue
+                        # Detach *before* settling: settle() re-feeds the
+                        # worker that held the cell, and a dead worker's
+                        # queue would swallow the next pending cell.
+                        worker.current = None
+                        worker.kill()  # reap
+                        done += settle(
+                            index,
+                            CellFailure(
+                                index=index,
+                                name=names[index],
+                                kind="crash",
+                                error="WorkerCrashed",
+                                message=(
+                                    "worker process died while running this "
+                                    f"cell (exitcode {worker.proc.exitcode})"
+                                ),
+                                exitcode=worker.proc.exitcode,
+                            ),
+                        )
+                        if pending:
+                            pool[slot] = _Worker(ctx, result_q)
+                            feed(pool[slot])
+                    elif (
+                        self.timeout is not None
+                        and now - worker.started > self.timeout
+                    ):
+                        worker.current = None  # detach before settle re-feeds
+                        worker.kill()
+                        done += settle(
+                            index,
+                            CellFailure(
+                                index=index,
+                                name=names[index],
+                                kind="timeout",
+                                error="CellTimeout",
+                                message=(
+                                    f"cell exceeded the {self.timeout}s "
+                                    "wall-clock budget; worker terminated"
+                                ),
+                            ),
+                        )
+                        if pending:
+                            pool[slot] = _Worker(ctx, result_q)
+                            feed(pool[slot])
+        finally:
+            for worker in pool:
+                worker.kill()
+            result_q.close()
+            result_q.join_thread()
+        return results
+
+
+def run_cells(
+    specs: Sequence[ScenarioSpec],
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    start_method: Optional[str] = None,
+) -> List[Any]:
+    """Run a list of cells, serially or on a pool — the figures' entry point.
+
+    Serial is forced when ``workers`` is None or <= 1, or when there are
+    fewer than two cells; the serial path calls
+    :func:`~repro.experiments.runner.run_spec` in-process (the bit-identical
+    baseline) and raises on the first failing cell.  The parallel path
+    completes the whole grid and returns :class:`CellFailure` entries for
+    failed cells — see :func:`raise_failures` for callers that need
+    everything to have succeeded.
+    """
+    specs = list(specs)
+    if workers is None or workers <= 1 or len(specs) <= 1:
+        return [run_spec(spec) for spec in specs]
+    return ProcessPoolRunner(
+        workers=workers, timeout=timeout, start_method=start_method
+    ).run(specs)
+
+
+def raise_failures(results: Sequence[Any], context: str = "sweep") -> None:
+    """Raise if any entry is a :class:`CellFailure` (figure grids need every
+    cell; ad-hoc sweeps keep the structured entries instead)."""
+    failures = [r for r in results if isinstance(r, CellFailure)]
+    if failures:
+        lines = "\n  ".join(str(f) for f in failures)
+        raise RuntimeError(
+            f"{context}: {len(failures)} of {len(results)} cells failed:\n  {lines}"
+        )

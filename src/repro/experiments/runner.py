@@ -16,7 +16,7 @@ name).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,28 +35,42 @@ __all__ = [
     "SpecRunResult",
     "build_config",
     "register_action",
+    "result_summary",
     "run_spec",
 ]
 
 
 @dataclass
 class ProbeResult:
-    """One evaluated SLO probe: measured value vs. threshold."""
+    """One evaluated SLO probe: measured value vs. threshold.
+
+    For series probes (``ProbeSpec.every``), ``series`` holds one
+    ``(window_start, value, ok)`` entry per sub-window and
+    ``violation_fraction`` is the share of windows that violated the
+    threshold — the "violation fraction over time" view of an SLO; the
+    top-level ``value`` / ``ok`` stay the whole-window verdict.
+    """
 
     name: str
     kind: str
     value: float
     threshold: float
     ok: bool
+    series: Optional[List[Tuple[float, float, bool]]] = None
+    violation_fraction: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "kind": self.kind,
             "value": self.value,
             "threshold": self.threshold,
             "ok": self.ok,
         }
+        if self.series is not None:
+            out["series"] = [[t, v, ok] for t, v, ok in self.series]
+            out["violation_fraction"] = self.violation_fraction
+        return out
 
 
 @dataclass
@@ -74,25 +88,37 @@ class SpecRunResult(ScenarioResult):
 
     def summary(self) -> Dict[str, Any]:
         """JSON-ready digest (what the CLI prints for spec-file runs)."""
-        m = self.metrics
-        report = self.cost
-        return {
-            "name": self.spec.name if self.spec else "",
-            "system": self.system,
-            "seed": self.spec.seed if self.spec else None,
-            "duration_s": self.duration,
-            "committed": m.total_committed,
-            "aborted": m.total_aborted,
-            "abort_ratio": m.abort_ratio(),
-            "migrations": m.total_migrations,
-            "migration_duration_s": m.migration_duration,
-            "failovers": len(m.failovers),
-            "latency_p99_s": m.latency_stats()["p99"],
-            "cost_per_mtxn_usd": report.cost_per_million_txns,
-            "slo_ok": self.slo_ok,
-            "probes": [p.to_dict() for p in self.probes],
-            "extras": self.extras,
-        }
+        return result_summary(self)
+
+
+def result_summary(result) -> Dict[str, Any]:
+    """JSON-ready digest of a finished run.
+
+    Works on anything with the run-result shape — a live
+    :class:`SpecRunResult` or a
+    :class:`repro.experiments.parallel.PortableRunResult` shipped back from
+    a worker process.
+    """
+    m = result.metrics
+    report = result.cost
+    spec = result.spec
+    return {
+        "name": spec.name if spec else "",
+        "system": result.system,
+        "seed": spec.seed if spec else None,
+        "duration_s": result.duration,
+        "committed": m.total_committed,
+        "aborted": m.total_aborted,
+        "abort_ratio": m.abort_ratio(),
+        "migrations": m.total_migrations,
+        "migration_duration_s": m.migration_duration,
+        "failovers": len(m.failovers),
+        "latency_p99_s": m.latency_stats()["p99"],
+        "cost_per_mtxn_usd": report.cost_per_million_txns,
+        "slo_ok": result.slo_ok,
+        "probes": [p.to_dict() for p in result.probes],
+        "extras": result.extras,
+    }
 
 
 @dataclass
@@ -324,8 +350,9 @@ def build_config(spec: ScenarioSpec) -> ClusterConfig:
     return ClusterConfig(**kwargs)
 
 
-def _evaluate_probe(probe: ProbeSpec, result: SpecRunResult) -> ProbeResult:
-    t0, t1 = probe.window or (0.0, result.duration)
+def _probe_measure(probe: ProbeSpec, result, window: Tuple[float, float]):
+    """Evaluate one probe over one ``[t0, t1)`` window: ``(value, ok)``."""
+    t0, t1 = window
     metrics = result.metrics
     bucket = metrics.bucket
     if probe.kind == "latency":
@@ -360,9 +387,46 @@ def _evaluate_probe(probe: ProbeSpec, result: SpecRunResult) -> ProbeResult:
             longest = max(longest, current)
         value = longest
         ok = value <= probe.threshold
+    elif probe.kind == "migration_latency":
+        samples = [
+            v
+            for b, values in metrics.migration_latency_buckets().items()
+            if t0 <= b * bucket < t1
+            for v in values
+        ]
+        value = float(np.percentile(samples, probe.pct)) if samples else 0.0
+        ok = value <= probe.threshold
     else:  # pragma: no cover - ProbeSpec validates kinds
         raise ValueError(f"unknown probe kind {probe.kind!r}")
-    return ProbeResult(probe.name, probe.kind, value, probe.threshold, ok)
+    return value, ok
+
+
+def _evaluate_probe(probe: ProbeSpec, result) -> ProbeResult:
+    t0, t1 = probe.window or (0.0, result.duration)
+    value, ok = _probe_measure(probe, result, (t0, t1))
+    series = violation_fraction = None
+    if probe.every is not None and t1 > t0:
+        series = []
+        count = int(np.ceil((t1 - t0) / probe.every))
+        for k in range(count):
+            w0 = t0 + k * probe.every
+            w1 = min(t0 + (k + 1) * probe.every, t1)
+            w_value, w_ok = _probe_measure(probe, result, (w0, w1))
+            series.append((w0, w_value, w_ok))
+        violation_fraction = (
+            sum(1 for _t, _v, w_ok in series if not w_ok) / len(series)
+            if series
+            else 0.0
+        )
+    return ProbeResult(
+        probe.name,
+        probe.kind,
+        value,
+        probe.threshold,
+        ok,
+        series=series,
+        violation_fraction=violation_fraction,
+    )
 
 
 # -- the runner ----------------------------------------------------------------

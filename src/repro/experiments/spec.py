@@ -212,7 +212,17 @@ class ProbeSpec(_SpecBase):
     * ``throughput_floor`` — mean committed tps over the window >= threshold;
     * ``abort_ceiling`` — aborts / attempts over the window <= threshold;
     * ``unavailability`` — longest zero-throughput stretch (seconds) within
-      the window <= threshold.
+      the window <= threshold;
+    * ``migration_latency`` — ``pct``-percentile of per-MigrationTxn latency
+      over the window <= threshold (seconds): the control-plane SLO, not a
+      user-transaction metric.
+
+    ``every`` turns any probe into a *series* probe: besides the whole-window
+    verdict, the probe is re-evaluated over consecutive ``every``-second
+    sub-windows, and the result carries the per-window values plus the
+    fraction of windows in violation (``ProbeResult.series`` /
+    ``violation_fraction``).  ``every`` should be >= the topology's
+    ``metrics_bucket`` — sub-bucket windows see no samples.
     """
 
     name: str = "slo"
@@ -221,8 +231,16 @@ class ProbeSpec(_SpecBase):
     pct: float = 99.0
     #: ``(t0, t1)`` absolute sim seconds; default = the whole run.
     window: Optional[Tuple[float, float]] = None
+    #: Sub-window width (seconds) for the per-window probe series.
+    every: Optional[float] = None
 
-    KINDS = ("latency", "throughput_floor", "abort_ceiling", "unavailability")
+    KINDS = (
+        "latency",
+        "throughput_floor",
+        "abort_ceiling",
+        "unavailability",
+        "migration_latency",
+    )
 
     def __post_init__(self):
         if self.kind not in self.KINDS:
@@ -231,6 +249,8 @@ class ProbeSpec(_SpecBase):
             )
         if self.window is not None:
             self.window = tuple(self.window)
+        if self.every is not None and self.every <= 0:
+            raise ValueError(f"probe `every` must be positive, got {self.every}")
 
 
 @dataclass
@@ -397,18 +417,52 @@ class Sweep:
     over.  ``expand()`` yields every combination in axis-declaration order
     (last axis fastest), each as a fresh :class:`ScenarioSpec` named
     ``base[k=v,...]``.
+
+    Axes are validated against the base spec at construction: a path that
+    does not resolve (typo, bad list index, unknown field), a duplicate
+    axis, or two axes where one is a dotted prefix of the other all raise
+    ``ValueError`` naming the offending path — not a confusing failure deep
+    inside ``expand()``.
     """
 
-    def __init__(self, base: ScenarioSpec, axes: Dict[str, Sequence[Any]]):
-        if not axes:
-            raise ValueError("Sweep needs at least one axis")
+    def __init__(self, base: ScenarioSpec, axes):
         self.base = base
-        self.axes: Dict[str, List[Any]] = {
-            path: list(values) for path, values in axes.items()
-        }
-        for path, values in self.axes.items():
+        pairs = list(axes.items()) if isinstance(axes, dict) else list(axes)
+        if not pairs:
+            raise ValueError("Sweep needs at least one axis")
+        self.axes: Dict[str, List[Any]] = {}
+        for path, values in pairs:
+            if path in self.axes:
+                raise ValueError(f"duplicate sweep axis {path!r}")
+            values = list(values)
             if not values:
                 raise ValueError(f"sweep axis {path!r} has no values")
+            self.axes[path] = values
+        self._validate_axes()
+
+    def _validate_axes(self) -> None:
+        paths = sorted(self.axes)
+        for shorter, longer in zip(paths, paths[1:]):
+            if longer.startswith(shorter + "."):
+                raise ValueError(
+                    f"overlapping sweep axes: {longer!r} is nested inside "
+                    f"{shorter!r}; sweep them through the outer axis instead"
+                )
+        # Probe each axis value independently against the base spec so the
+        # error names the axis (and value) at fault, not the first bad
+        # combination deep inside expand().
+        for path, values in self.axes.items():
+            for value in values:
+                data = self.base.to_dict()
+                try:
+                    self._set_path(data, path, value)
+                    ScenarioSpec.from_dict(data)
+                except Exception as exc:
+                    raise ValueError(
+                        f"sweep axis {path!r} (value {value!r}) does not "
+                        f"apply to the base spec "
+                        f"({type(exc).__name__}: {exc})"
+                    ) from exc
 
     def __len__(self) -> int:
         n = 1
@@ -453,11 +507,44 @@ class Sweep:
             spec.name = f"{self.base.name}[{self.point_label(point)}]"
             yield point, spec
 
-    def run(self, runner=None) -> List[Tuple[Dict[str, Any], Any]]:
-        """Run every cell; returns ``[(point, SpecRunResult), ...]``."""
+    def run(
+        self,
+        runner=None,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> List[Tuple[Dict[str, Any], Any]]:
+        """Run every cell; returns ``[(point, result), ...]`` in grid order.
+
+        ``workers > 1`` executes cells on a
+        :class:`repro.experiments.parallel.ProcessPoolRunner`: results come
+        back in the same deterministic cell order (keyed by index, not
+        completion), seeded runs are bit-identical to the serial path, and a
+        crashed / timed-out / failing cell yields a structured
+        :class:`~repro.experiments.parallel.CellFailure` in its slot while
+        the rest of the grid completes.  Serial mode (``workers`` None or
+        <= 1) runs in-process and raises on the first failing cell.
+        """
+        if runner is not None and workers is not None and workers > 1:
+            raise ValueError(
+                "Sweep.run: a custom `runner` is serial by definition; "
+                "pass either runner= or workers=, not both"
+            )
+        pairs = list(self.expand())
+        if workers is not None and workers > 1 and runner is None:
+            from repro.experiments.parallel import run_cells
+
+            results = run_cells(
+                [spec for _point, spec in pairs],
+                workers=workers,
+                timeout=timeout,
+            )
+            return [
+                (point, result)
+                for (point, _spec), result in zip(pairs, results)
+            ]
         if runner is None:
             from repro.experiments.runner import run_spec as runner
-        return [(point, runner(spec)) for point, spec in self.expand()]
+        return [(point, runner(spec)) for point, spec in pairs]
 
     # -- serialization -------------------------------------------------------
 

@@ -360,7 +360,8 @@ class TestNewExperiments:
         result = run_spec(ScenarioSpec.load(path))
         assert result.metrics.total_committed > 0
         assert {p.name for p in result.probes} == {
-            "p99_latency", "throughput_floor", "abort_ceiling", "unavailability",
+            "p99_latency", "throughput_floor", "abort_ceiling",
+            "unavailability", "migration_p99",
         }
 
 
