@@ -12,13 +12,14 @@ comparison, we implement Marlin and all baselines on this testbed".
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Iterable, List
+from typing import Dict, Generator, Iterable, List, Optional
 
 from repro.coord.base import CoordinationRuntime
 from repro.core.commit import NodeParticipant, marlin_commit
 from repro.engine.locks import LockConflict
 from repro.engine.node import GTABLE, node_address
 from repro.engine.txn import AbortReason, TxnAborted, TxnContext, WrongNodeError
+from repro.sim.core import Timeout
 from repro.sim.rpc import RemoteError, RpcTimeout
 from repro.storage.log import RecordKind
 
@@ -28,7 +29,59 @@ _OWNER_PREFIX = "/granules/"
 _MEMBER_PREFIX = "/members/"
 
 
-class ZkClient:
+class _ServiceClient:
+    """Shared service-session RPC plumbing for the external-service clients.
+
+    Every coordination-state operation goes through :meth:`_request`: a
+    *bounded* per-request timeout plus retry with linear backoff.  Real ZK /
+    FDB client libraries behave this way (session timeout + reconnect loop),
+    and it is a liveness requirement here: without it, a reconfiguration in
+    flight when the service endpoint partitions away waits on a reply that
+    will never arrive — the request was dropped inside the partition — and
+    hangs forever even after the partition heals (the ROADMAP's
+    coordination-outage open item).  With it, the operation stalls for the
+    outage and completes once connectivity returns.
+
+    ``request_timeout`` bounds each attempt; ``retry_backoff`` spaces
+    attempts (linear, capped at 4x); ``max_retries=None`` retries until the
+    service responds — the paper's baselines treat the external service as
+    durable, so control-plane callers never see a spurious failure, they
+    just observe outage-shaped latency.  A bounded ``max_retries`` surfaces
+    the final :class:`RpcTimeout` to the caller instead.
+    """
+
+    def __init__(
+        self,
+        service_address: str,
+        client_overhead: float = 0.0,
+        session_pool: int = 2,
+        request_timeout: float = 2.0,
+        retry_backoff: float = 0.25,
+        max_retries: Optional[int] = None,
+    ):
+        self.address = service_address
+        self.client_overhead = client_overhead
+        self.session_pool = session_pool
+        self.request_timeout = request_timeout
+        self.retry_backoff = retry_backoff
+        self.max_retries = max_retries
+
+    def _request(self, node, method: str, *args) -> Generator:
+        attempt = 0
+        while True:
+            try:
+                result = yield node.endpoint.call(
+                    self.address, method, *args, timeout=self.request_timeout
+                )
+                return result
+            except RpcTimeout:
+                attempt += 1
+                if self.max_retries is not None and attempt > self.max_retries:
+                    raise
+                yield Timeout(self.retry_backoff * min(attempt, 4))
+
+
+class ZkClient(_ServiceClient):
     """Coordination-state operations against a ZooKeeperService."""
 
     kind = "zookeeper"
@@ -38,44 +91,43 @@ class ZkClient:
         service_address: str = "zk",
         client_overhead: float = 0.0,
         session_pool: int = 2,
+        **kwargs,
     ):
-        self.address = service_address
-        self.client_overhead = client_overhead
-        self.session_pool = session_pool
+        super().__init__(
+            service_address, client_overhead, session_pool, **kwargs
+        )
 
     def update_ownership(self, node, granule: int, owner: int) -> Generator:
         """One leader write: znode per granule."""
-        version = yield node.endpoint.call(
-            self.address, "zk_write", f"{_OWNER_PREFIX}{granule}", owner
+        version = yield from self._request(
+            node, "zk_write", f"{_OWNER_PREFIX}{granule}", owner
         )
         return version
 
     def register_member(self, node, node_id: int, address: str) -> Generator:
-        yield node.endpoint.call(
-            self.address, "zk_write", f"{_MEMBER_PREFIX}{node_id}", address
+        yield from self._request(
+            node, "zk_write", f"{_MEMBER_PREFIX}{node_id}", address
         )
         return True
 
     def unregister_member(self, node, node_id: int) -> Generator:
-        yield node.endpoint.call(
-            self.address, "zk_delete", f"{_MEMBER_PREFIX}{node_id}"
-        )
+        yield from self._request(node, "zk_delete", f"{_MEMBER_PREFIX}{node_id}")
         return True
 
     def scan_ownership(self, node) -> Generator:
-        raw = yield node.endpoint.call(self.address, "zk_scan", _OWNER_PREFIX)
+        raw = yield from self._request(node, "zk_scan", _OWNER_PREFIX)
         return {
             int(path[len(_OWNER_PREFIX):]): owner for path, owner in raw.items()
         }
 
     def scan_members(self, node) -> Generator:
-        raw = yield node.endpoint.call(self.address, "zk_scan", _MEMBER_PREFIX)
+        raw = yield from self._request(node, "zk_scan", _MEMBER_PREFIX)
         return {
             int(path[len(_MEMBER_PREFIX):]): addr for path, addr in raw.items()
         }
 
 
-class FdbClient:
+class FdbClient(_ServiceClient):
     """Coordination-state operations against an FdbService.
 
     Every mutation needs GetReadVersion + commit — two service round trips,
@@ -89,14 +141,18 @@ class FdbClient:
         service_address: str = "fdb",
         client_overhead: float = 0.0,
         session_pool: int = 2,
+        **kwargs,
     ):
-        self.address = service_address
-        self.client_overhead = client_overhead
-        self.session_pool = session_pool
+        super().__init__(
+            service_address, client_overhead, session_pool, **kwargs
+        )
 
     def _mutate(self, node, writes) -> Generator:
-        read_version = yield node.endpoint.call(self.address, "fdb_get_read_version")
-        yield node.endpoint.call(self.address, "fdb_commit", tuple(writes), read_version)
+        # Each leg retries independently; a timed-out commit re-runs from a
+        # fresh read version (the simulated FDB applies last-writer-wins
+        # blind writes, so a duplicate commit is idempotent).
+        read_version = yield from self._request(node, "fdb_get_read_version")
+        yield from self._request(node, "fdb_commit", tuple(writes), read_version)
         return True
 
     def update_ownership(self, node, granule: int, owner: int) -> Generator:
@@ -113,13 +169,13 @@ class FdbClient:
         return (yield from self._mutate(node, [(f"{_MEMBER_PREFIX}{node_id}", None)]))
 
     def scan_ownership(self, node) -> Generator:
-        raw = yield node.endpoint.call(self.address, "fdb_scan", _OWNER_PREFIX)
+        raw = yield from self._request(node, "fdb_scan", _OWNER_PREFIX)
         return {
             int(path[len(_OWNER_PREFIX):]): owner for path, owner in raw.items()
         }
 
     def scan_members(self, node) -> Generator:
-        raw = yield node.endpoint.call(self.address, "fdb_scan", _MEMBER_PREFIX)
+        raw = yield from self._request(node, "fdb_scan", _MEMBER_PREFIX)
         return {
             int(path[len(_MEMBER_PREFIX):]): addr for path, addr in raw.items()
         }

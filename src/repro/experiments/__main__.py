@@ -5,8 +5,9 @@ Commands::
     python -m repro.experiments list [--json]
     python -m repro.experiments run fig8 --scale 0.25 [--seed N]
         [--systems marlin,zk-small] [--clients N] [--json] [--series]
-        [--workers N]
+        [--workers N] [--cache DIR | --no-cache]
     python -m repro.experiments run path/to/spec.json [--json] [--workers N]
+        [--cache DIR | --no-cache]
 
 ``run <figure>`` executes a registered figure (see ``list``) and prints its
 table (or ``--json``).  ``run <file.json>`` loads an ad-hoc
@@ -15,7 +16,11 @@ table (or ``--json``).  ``run <file.json>`` loads an ad-hoc
 executes it through ``run_spec``, and prints the run summaries (probe
 verdicts included).  ``--workers N`` runs grid cells on a process pool
 (sweep figures and sweep spec files; seeded results stay bit-identical to
-serial — see EXPERIMENTS.md "Parallel execution").
+serial — see EXPERIMENTS.md "Parallel execution").  ``--cache DIR`` (or
+``$REPRO_SWEEP_CACHE``) stores finished cells in a content-addressed result
+cache and reuses them on identical (spec, seed) cells, so an interrupted or
+re-summarized grid re-executes only missed cells; cache hit/miss counts are
+printed to stderr (see EXPERIMENTS.md "Result caching").
 """
 
 from __future__ import annotations
@@ -49,7 +54,32 @@ def _figure_doc(module) -> str:
     return doc[0] if doc else ""
 
 
-def _run_figure(name: str, args) -> Dict[str, Any]:
+def _resolve_cache(args):
+    """``--cache DIR`` / ``--no-cache`` / ``REPRO_SWEEP_CACHE`` -> ResultCache.
+
+    Precedence: ``--no-cache`` wins, then an explicit ``--cache DIR``, then
+    the ``REPRO_SWEEP_CACHE`` environment variable; default is no caching.
+    """
+    if args.no_cache:
+        return None
+    directory = args.cache or os.environ.get("REPRO_SWEEP_CACHE")
+    if not directory:
+        return None
+    from repro.experiments.cache import ResultCache
+
+    return ResultCache(directory)
+
+
+def _report_cache(cache) -> None:
+    if cache is not None:
+        print(
+            f"[cache] hits={cache.hits} misses={cache.misses} "
+            f"stores={cache.stores} dir={cache.root}",
+            file=sys.stderr,
+        )
+
+
+def _run_figure(name: str, args, cache=None) -> Dict[str, Any]:
     module = FIGURES[name]
     kwargs: Dict[str, Any] = {"scale": args.scale, "seed": args.seed}
     supported = inspect.signature(module.run).parameters
@@ -65,11 +95,24 @@ def _run_figure(name: str, args) -> Dict[str, Any]:
         if "workers" not in supported:
             raise SystemExit(f"{name} does not take --workers (not a sweep figure)")
         kwargs["workers"] = args.workers
+    if cache is not None:
+        if "cache" not in supported:
+            if args.cache:  # explicit flag on a non-sweep figure: loud error
+                raise SystemExit(f"{name} does not take --cache (not a sweep figure)")
+            # $REPRO_SWEEP_CACHE default on a non-sweep figure: say so and
+            # drop the cache, so no misleading all-zero [cache] line prints.
+            print(
+                f"[cache] ignored: {name} is not a sweep figure",
+                file=sys.stderr,
+            )
+            cache = None
+        else:
+            kwargs["cache"] = cache
     fig = module.run(**kwargs)
-    return fig.to_dict(include_series=args.series)
+    return fig.to_dict(include_series=args.series), cache
 
 
-def _run_spec_file(path: str, args) -> Any:
+def _run_spec_file(path: str, args, cache=None) -> Any:
     with open(path) as f:
         data = json.load(f)
     if isinstance(data, dict) and "axes" in data:
@@ -77,7 +120,7 @@ def _run_spec_file(path: str, args) -> Any:
         out = []
         # Failed cells surface as failure-shaped summaries (CellFailure),
         # not a dead grid.
-        for point, result in sweep.run(workers=args.workers):
+        for point, result in sweep.run(workers=args.workers, cache=cache):
             summary = result.summary()
             summary["point"] = point
             out.append(summary)
@@ -87,8 +130,12 @@ def _run_spec_file(path: str, args) -> Any:
             f"{path} is a single ScenarioSpec (no \"axes\" key); "
             "--workers only applies to sweeps"
         )
-    result = run_spec(ScenarioSpec.from_dict(data))
-    return result.summary()
+    spec = ScenarioSpec.from_dict(data)
+    if cache is not None:
+        from repro.experiments.parallel import run_cells
+
+        return run_cells([spec], cache=cache)[0].summary()
+    return run_spec(spec).summary()
 
 
 def _print(payload, as_json: bool) -> None:
@@ -139,6 +186,17 @@ def main(argv=None) -> int:
         help="run sweep cells on N worker processes (sweep figures and "
              "sweep spec files; results are bit-identical to serial)",
     )
+    p_run.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="content-addressed result cache directory: finished cells are "
+             "stored and identical (spec, seed) cells are reused — resuming "
+             "an interrupted grid re-executes only missed cells "
+             "(default: $REPRO_SWEEP_CACHE if set)",
+    )
+    p_run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable result caching even if $REPRO_SWEEP_CACHE is set",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -151,15 +209,17 @@ def main(argv=None) -> int:
                 print(f"{name.ljust(width)}  {doc}")
         return 0
 
+    cache = _resolve_cache(args)
     if args.target in FIGURES:
-        payload = _run_figure(args.target, args)
+        payload, cache = _run_figure(args.target, args, cache=cache)
     elif os.path.exists(args.target):
-        payload = _run_spec_file(args.target, args)
+        payload = _run_spec_file(args.target, args, cache=cache)
     else:
         parser.error(
             f"unknown target {args.target!r}: not a registered figure "
             f"({', '.join(sorted(FIGURES))}) and not a spec file"
         )
+    _report_cache(cache)
     _print(payload, args.json)
     return 0
 

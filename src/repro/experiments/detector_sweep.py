@@ -121,6 +121,7 @@ def run(
     vote_gate: Sequence[bool] = (False, True),
     results=None,
     workers: Optional[int] = None,
+    cache=None,
 ) -> FigureResult:
     if results is None:
         sweep = build_sweep(
@@ -130,7 +131,7 @@ def run(
             misses=misses,
             vote_gate=vote_gate,
         )
-        results = sweep.run(workers=workers)
+        results = sweep.run(workers=workers, cache=cache)
         raise_failures(
             [cell for _point, cell in results], context="detector_sweep"
         )

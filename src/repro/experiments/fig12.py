@@ -47,10 +47,13 @@ def run_sweep(
     scale_outs: Sequence[Tuple[str, int, int, int]] = SCALE_OUTS,
     regions: Tuple[str, ...] = ("us-west",),
     workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[Tuple[str, str], ScenarioResult]:
     """The (scale-out x system) grid; ``workers > 1`` runs cells on a
     :class:`~repro.experiments.parallel.ProcessPoolRunner` (seeded results
-    are bit-identical to the serial path)."""
+    are bit-identical to the serial path); ``cache`` short-circuits cells
+    already stored in a content-addressed result cache (EXPERIMENTS.md
+    "Result caching")."""
     keys: List[Tuple[str, str]] = []
     specs = []
     for name, initial, clients, granules in scale_outs:
@@ -70,7 +73,7 @@ def run_sweep(
                     name=f"fig12-{name}-{system}",
                 )
             )
-    results = run_cells(specs, workers=workers)
+    results = run_cells(specs, workers=workers, cache=cache)
     raise_failures(results, context="fig12")
     return dict(zip(keys, results))
 
@@ -134,9 +137,12 @@ def run(
     seed: int = 1,
     results: Optional[Dict[Tuple[str, str], ScenarioResult]] = None,
     workers: Optional[int] = None,
+    cache=None,
 ) -> FigureResult:
     if results is None:
-        results = run_sweep(scale=scale, systems=systems, seed=seed, workers=workers)
+        results = run_sweep(
+            scale=scale, systems=systems, seed=seed, workers=workers, cache=cache
+        )
     return summarize(results)
 
 

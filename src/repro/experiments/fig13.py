@@ -31,6 +31,7 @@ def run_sweep(
     seed: int = 1,
     scale_outs: Sequence[Tuple[str, int, int, int]] = GEO_SCALE_OUTS,
     workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[Tuple[str, str], ScenarioResult]:
     return fig12.run_sweep(
         scale=scale,
@@ -39,6 +40,7 @@ def run_sweep(
         scale_outs=scale_outs,
         regions=tuple(AZURE_REGIONS),
         workers=workers,
+        cache=cache,
     )
 
 
@@ -66,9 +68,12 @@ def run(
     seed: int = 1,
     results: Optional[Dict[Tuple[str, str], ScenarioResult]] = None,
     workers: Optional[int] = None,
+    cache=None,
 ) -> FigureResult:
     if results is None:
-        results = run_sweep(scale=scale, systems=systems, seed=seed, workers=workers)
+        results = run_sweep(
+            scale=scale, systems=systems, seed=seed, workers=workers, cache=cache
+        )
     return summarize(results)
 
 

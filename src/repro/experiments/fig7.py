@@ -173,15 +173,18 @@ def run_grid(
     seed: int = 1,
     fault_kinds: Optional[Sequence[str]] = None,
     workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[Tuple[str, str], SpecRunResult]:
     """The (fault kind x system) grid; ``workers > 1`` runs cells on a
-    process pool (every cell is an independent seeded simulation)."""
+    process pool (every cell is an independent seeded simulation);
+    ``cache`` reuses stored cell results (EXPERIMENTS.md "Result
+    caching")."""
     kinds = list(fault_kinds) if fault_kinds is not None else sorted(FAULT_KINDS)
     keys = [(kind, system) for kind in kinds for system in systems]
     specs = [
         slo_spec(system, kind, scale=scale, seed=seed) for kind, system in keys
     ]
-    results = run_cells(specs, workers=workers)
+    results = run_cells(specs, workers=workers, cache=cache)
     raise_failures(results, context="fig7")
     return dict(zip(keys, results))
 
@@ -256,6 +259,7 @@ def run(
     fault_kinds: Optional[Sequence[str]] = None,
     results: Optional[Dict[Tuple[str, str], SpecRunResult]] = None,
     workers: Optional[int] = None,
+    cache=None,
 ) -> FigureResult:
     if results is None:
         results = run_grid(
@@ -264,6 +268,7 @@ def run(
             seed=seed,
             fault_kinds=fault_kinds,
             workers=workers,
+            cache=cache,
         )
     return summarize(results)
 

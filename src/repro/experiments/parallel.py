@@ -29,6 +29,11 @@ Entry points: ``Sweep.run(workers=N)``, the figure modules'
 ``run(..., workers=N)``, ``python -m repro.experiments run ... --workers N``,
 or :func:`run_cells` / :class:`ProcessPoolRunner` directly.  See
 EXPERIMENTS.md "Parallel execution".
+
+All entry points also take ``cache=`` — a
+:class:`~repro.experiments.cache.ResultCache` (or directory path) consulted
+before a cell executes and fed after it finishes, so repeated or resumed
+grids re-execute only missed cells.  See EXPERIMENTS.md "Result caching".
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.cost import CostReport
+from repro.experiments.cache import resolve_cache
 from repro.experiments.runner import ProbeResult, result_summary, run_spec
 from repro.experiments.spec import ScenarioSpec
 
@@ -267,19 +273,33 @@ class ProcessPoolRunner:
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
 
-    def run(self, specs: Sequence[ScenarioSpec]) -> List[Any]:
+    def run(self, specs: Sequence[ScenarioSpec], cache=None) -> List[Any]:
         specs = list(specs)
         if not specs:
             return []
-        payloads = [spec.to_dict() for spec in specs]
+        cache = resolve_cache(cache)
         names = [spec.name for spec in specs]
         n = len(specs)
-        ctx = mp.get_context(self.start_method)
-        result_q = ctx.Queue()
-        pool = [_Worker(ctx, result_q) for _ in range(min(self.workers, n))]
-        pending = deque(range(n))
         results: List[Any] = [None] * n
         done = 0
+        if cache is not None:
+            # Consult the cache before dispatching anything: hit cells settle
+            # into their slots immediately and never reach a worker.
+            for index, spec in enumerate(specs):
+                hit = cache.get(spec)
+                if hit is not None:
+                    results[index] = hit
+                    done += 1
+            if done == n:
+                return results
+        pending = deque(i for i in range(n) if results[i] is None)
+        payloads = [spec.to_dict() for spec in specs]
+        ctx = mp.get_context(self.start_method)
+        result_q = ctx.Queue()
+        pool = [
+            _Worker(ctx, result_q)
+            for _ in range(min(self.workers, len(pending)))
+        ]
 
         def feed(worker: _Worker) -> None:
             if pending:
@@ -313,6 +333,10 @@ class ProcessPoolRunner:
                     return settled
                 index, status, payload = item
                 if status == "ok":
+                    if cache is not None:
+                        # Store the worker's pickle verbatim (no re-encode);
+                        # failures below never reach the cache.
+                        cache.put_serialized(specs[index], payload)
                     settled += settle(index, pickle.loads(payload))
                 else:
                     error, message, tb = payload
@@ -402,6 +426,7 @@ def run_cells(
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
     start_method: Optional[str] = None,
+    cache=None,
 ) -> List[Any]:
     """Run a list of cells, serially or on a pool — the figures' entry point.
 
@@ -412,13 +437,34 @@ def run_cells(
     completes the whole grid and returns :class:`CellFailure` entries for
     failed cells — see :func:`raise_failures` for callers that need
     everything to have succeeded.
+
+    ``cache`` (a directory path or
+    :class:`~repro.experiments.cache.ResultCache`) consults the
+    content-addressed result cache before executing each cell and stores
+    every freshly finished one; cached cells come back as
+    :class:`PortableRunResult` regardless of execution mode, with summaries
+    bit-identical to a cold run.
     """
     specs = list(specs)
+    cache = resolve_cache(cache)
     if workers is None or workers <= 1 or len(specs) <= 1:
-        return [run_spec(spec) for spec in specs]
+        if cache is None:
+            return [run_spec(spec) for spec in specs]
+        results: List[Any] = []
+        for spec in specs:
+            hit = cache.get(spec)
+            if hit is not None:
+                results.append(hit)
+                continue
+            result = run_spec(spec)
+            # Detach now (cost priced while the cluster is alive) so the
+            # stored artifact matches what a pool worker would ship.
+            cache.put(spec, PortableRunResult.from_run(result))
+            results.append(result)
+        return results
     return ProcessPoolRunner(
         workers=workers, timeout=timeout, start_method=start_method
-    ).run(specs)
+    ).run(specs, cache=cache)
 
 
 def raise_failures(results: Sequence[Any], context: str = "sweep") -> None:

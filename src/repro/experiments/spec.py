@@ -512,6 +512,7 @@ class Sweep:
         runner=None,
         workers: Optional[int] = None,
         timeout: Optional[float] = None,
+        cache=None,
     ) -> List[Tuple[Dict[str, Any], Any]]:
         """Run every cell; returns ``[(point, result), ...]`` in grid order.
 
@@ -523,6 +524,13 @@ class Sweep:
         :class:`~repro.experiments.parallel.CellFailure` in its slot while
         the rest of the grid completes.  Serial mode (``workers`` None or
         <= 1) runs in-process and raises on the first failing cell.
+
+        ``cache`` (a directory path or
+        :class:`~repro.experiments.cache.ResultCache`) short-circuits cells
+        whose content-addressed result is already stored and stores freshly
+        executed ones — both serially and on a pool — so resuming an
+        interrupted grid or re-summarizing a finished one re-executes only
+        missed cells.  Cached summaries are bit-identical to cold runs.
         """
         if runner is not None and workers is not None and workers > 1:
             raise ValueError(
@@ -530,20 +538,24 @@ class Sweep:
                 "pass either runner= or workers=, not both"
             )
         pairs = list(self.expand())
-        if workers is not None and workers > 1 and runner is None:
+        if runner is None:
             from repro.experiments.parallel import run_cells
 
             results = run_cells(
                 [spec for _point, spec in pairs],
                 workers=workers,
                 timeout=timeout,
+                cache=cache,
             )
             return [
                 (point, result)
                 for (point, _spec), result in zip(pairs, results)
             ]
-        if runner is None:
-            from repro.experiments.runner import run_spec as runner
+        if cache is not None:
+            raise ValueError(
+                "Sweep.run: result caching needs the default runner "
+                "(a custom `runner`'s results are not PortableRunResults)"
+            )
         return [(point, runner(spec)) for point, spec in pairs]
 
     # -- serialization -------------------------------------------------------

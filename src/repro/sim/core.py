@@ -1,7 +1,7 @@
 """Discrete-event simulation kernel.
 
 The kernel executes *processes* — plain Python generators — against a
-two-tier scheduler.  A process advances by yielding:
+three-queue scheduler.  A process advances by yielding:
 
 * :class:`Timeout` — resume after a simulated delay,
 * :class:`Future` — resume when the future resolves (or re-raise its failure),
@@ -11,27 +11,36 @@ two-tier scheduler.  A process advances by yielding:
 Sub-protocols compose with ``yield from``; the sub-generator's ``return`` value
 becomes the value of the ``yield from`` expression.
 
-Two-tier scheduler design
--------------------------
+Three-queue scheduler design
+----------------------------
 
 The dominant event class in every workload is the *same-time* callback:
 ``call_soon`` is used for every future resolution (``Future._flush``),
 process spawn, process kill, and bare ``yield None``.  Pushing those through
 a binary heap pays an O(log n) comparison chain per event for entries that
-by construction always sort at the front.  The scheduler therefore keeps two
-structures:
+by construction always sort at the front.  True future timers split further
+by whether they can be cancelled: the overwhelming majority — every network
+delivery, storage latency, process ``Timeout`` — are fire-and-forget, so
+carrying (and checking) a cancellation slot for them is pure overhead.  The
+scheduler therefore keeps three structures:
 
 * **ready queue** — a FIFO ``deque`` of ``(handle, fn, args)`` entries for
   callbacks at the *current* simulated time.  ``call_soon`` (and any
   ``call_at``/``call_after`` that lands at or before ``now``) appends here in
   O(1); kernel-internal schedulings skip the :class:`Handle` allocation
   entirely by appending ``(None, fn, args)``.
-* **timer heap** — a lazily-cancelled binary heap of
-  ``(when, seq, handle, fn, args)`` entries reserved for true future timers
-  (``when > now``).  Cancellation just flips the handle's flag; the entry is
-  discarded when popped.  ``Simulator.timer`` is the allocation-lean variant
-  for fire-and-forget timers (no handle at all) used by the network and
-  storage layers.
+* **fire-and-forget timer heap** — 4-tuples ``(when, seq, fn, args)`` with
+  *no* handle slot, fed by :meth:`Simulator.timer` (the network/storage/
+  ``Timeout`` path).  Entries are never cancelled, so the pop needs no flag
+  check and each entry is one word smaller.
+* **cancellable timer heap** — 5-tuples ``(when, seq, token, fn, args)``
+  fed by ``call_at``/``call_after`` (fresh :class:`Handle`) and
+  :meth:`Simulator.timer_token` (caller-provided token, e.g. the RPC layer's
+  pending-call record).  Cancellation flips ``token.cancelled``; the entry
+  is lazily discarded when popped.
+
+Both heaps share one ``seq`` counter, so merging their heads by ``(when,
+seq)`` reproduces exactly the global order of a single combined heap.
 
 Ordering guarantees (identical to the classic single-heap kernel):
 
@@ -39,16 +48,19 @@ Ordering guarantees (identical to the classic single-heap kernel):
    (sequence) order.
 2. Every timer-heap entry for time ``T`` was scheduled *before* the clock
    reached ``T`` (anything scheduled at ``T`` for ``T`` goes to the ready
-   queue), so at time ``T`` the heap's remaining ``T``-entries all precede
+   queue), so at time ``T`` the heaps' remaining ``T``-entries all precede
    every ready-queue entry in sequence order.  The pop rule — drain heap
-   entries with ``when == now`` before the ready queue, otherwise run the
-   ready queue before advancing the clock — therefore reproduces exactly the
-   global ``(time, seq)`` order of the old kernel, and a seeded run produces
-   a bit-identical event trace either way.
+   entries with ``when == now`` (earlier ``(when, seq)`` head of the two
+   heaps first) before the ready queue, otherwise run the ready queue before
+   advancing the clock — therefore reproduces exactly the global ``(time,
+   seq)`` order of the old kernel, and a seeded run produces a bit-identical
+   event trace either way.
 3. The clock only advances when the ready queue is empty.
 
 All resumptions pass through the scheduler, so a run is fully deterministic
-for a given seed and spawn order.
+for a given seed and spawn order.  ``run()``/``run(until)`` inline the event
+loop (no per-event ``step()`` call); ``step()`` remains the single-event
+entry point with identical pop order.
 """
 
 from __future__ import annotations
@@ -108,12 +120,14 @@ class Timeout:
 
 
 class Handle:
-    """Cancellation handle for a scheduled callback (lazily honoured)."""
+    """Cancellation handle for a scheduled callback (lazily honoured).
 
-    __slots__ = ("cancelled",)
+    ``cancelled`` defaults through the class attribute so creating a handle
+    runs no ``__init__`` — the scheduling paths allocate one per cancellable
+    entry, and virtually all of them are never cancelled.
+    """
 
-    def __init__(self):
-        self.cancelled = False
+    cancelled = False
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -307,7 +321,7 @@ _DISPATCH: dict = {
 
 
 class Simulator:
-    """The event loop: a FIFO ready queue plus a lazily-cancelled timer heap.
+    """The event loop: a FIFO ready queue plus two lazily-merged timer heaps.
 
     See the module docstring for the scheduler design and its ordering
     guarantees.  ``now`` only advances when the ready queue is empty.
@@ -316,8 +330,12 @@ class Simulator:
     def __init__(self, seed: int = 0):
         #: FIFO of (handle_or_None, fn, args) at the current simulated time.
         self._ready: deque = deque()
-        #: Heap of (when, seq, handle_or_None, fn, args) strictly-future timers.
-        self._heap: list = []
+        #: Fire-and-forget heap of (when, seq, fn, args); never cancelled.
+        self._timers: list = []
+        #: Cancellable heap of (when, seq, token, fn, args); token has a
+        #: ``cancelled`` flag (a :class:`Handle` or a caller-provided object).
+        self._cancellable: list = []
+        #: One counter for both heaps, so their heads merge by (when, seq).
         self._seq = itertools.count(1)
         self._now = 0.0
         self.rng = random.Random(seed)
@@ -334,7 +352,7 @@ class Simulator:
         """Schedule ``fn(*args)`` at absolute time ``when``; cancellable."""
         handle = Handle()
         if when > self._now:
-            _heappush(self._heap, (when, next(self._seq), handle, fn, args))
+            _heappush(self._cancellable, (when, next(self._seq), handle, fn, args))
         else:
             if when < self._now - _PAST_SLOP:
                 raise SimError(f"cannot schedule in the past: {when} < {self._now}")
@@ -342,7 +360,17 @@ class Simulator:
         return handle
 
     def call_after(self, delay: float, fn: Callable, *args: Any) -> Handle:
-        return self.call_at(self._now + delay, fn, *args)
+        # call_at, inlined: one fewer call on the cancellable-timer hot path.
+        now = self._now
+        when = now + delay
+        handle = Handle()
+        if when > now:
+            _heappush(self._cancellable, (when, next(self._seq), handle, fn, args))
+        else:
+            if when < now - _PAST_SLOP:
+                raise SimError(f"cannot schedule in the past: {when} < {now}")
+            self._ready.append((handle, fn, args))
+        return handle
 
     def call_soon(self, fn: Callable, *args: Any) -> Handle:
         handle = Handle()
@@ -357,14 +385,32 @@ class Simulator:
         """Allocation-lean ``call_after``: no :class:`Handle`, not cancellable.
 
         A non-positive ``delay`` lands on the ready queue, preserving the
-        invariant that the heap only holds strictly-future entries.
+        invariant that the heaps only hold strictly-future entries.
         """
         if delay > 0.0:
-            _heappush(self._heap, (self._now + delay, next(self._seq), None, fn, args))
+            _heappush(self._timers, (self._now + delay, next(self._seq), fn, args))
         else:
             if delay < -_PAST_SLOP:
                 raise SimError(f"cannot schedule in the past: delay {delay}")
             self._ready.append((None, fn, args))
+
+    def timer_token(self, delay: float, token: Any, fn: Callable, *args: Any) -> None:
+        """Cancellable timer with a caller-provided ``token``.
+
+        ``token`` is any object with a mutable ``cancelled`` attribute; the
+        caller flips it to cancel.  This lets a layer that already keeps
+        per-operation state (e.g. the RPC pending-call record) double as its
+        own cancellation handle instead of allocating a :class:`Handle`.
+        """
+        if delay > 0.0:
+            _heappush(
+                self._cancellable,
+                (self._now + delay, next(self._seq), token, fn, args),
+            )
+        else:
+            if delay < -_PAST_SLOP:
+                raise SimError(f"cannot schedule in the past: delay {delay}")
+            self._ready.append((token, fn, args))
 
     def spawn(self, gen: Generator, name: str = "", daemon: bool = False) -> Process:
         return Process(self, gen, name=name, daemon=daemon)
@@ -375,21 +421,33 @@ class Simulator:
     # -- execution ----------------------------------------------------------
 
     def step(self) -> bool:
-        """Run one event; return False if both queues are empty."""
+        """Run one event; return False if all three queues are empty."""
         ready = self._ready
-        heap = self._heap
+        fnf = self._timers
+        canc = self._cancellable
         while True:
             # Heap entries at the current time were scheduled before the
             # clock reached it, so they precede every ready entry (see the
-            # module docstring's ordering argument).
-            if heap and (not ready or heap[0][0] <= self._now):
-                when, _seq, handle, fn, args = _heappop(heap)
-                if handle is not None and handle.cancelled:
-                    continue
+            # module docstring's ordering argument).  The two heaps share one
+            # seq counter, so the earlier (when, seq) head is the global one.
+            if fnf:
+                heap = canc if (canc and canc[0] < fnf[0]) else fnf
+            elif canc:
+                heap = canc
+            else:
+                heap = None
+            if heap is not None and (not ready or heap[0][0] <= self._now):
+                entry = _heappop(heap)
+                if heap is fnf:
+                    when, _seq, fn, args = entry
+                else:
+                    when, _seq, token, fn, args = entry
+                    if token.cancelled:
+                        continue
                 self._now = when
             elif ready:
-                handle, fn, args = ready.popleft()
-                if handle is not None and handle.cancelled:
+                token, fn, args = ready.popleft()
+                if token is not None and token.cancelled:
                     continue
             else:
                 return False
@@ -403,41 +461,82 @@ class Simulator:
     def _next_event_time(self) -> Optional[float]:
         """Time of the next *live* entry in pop order.
 
-        Cancelled entries are pruned here (heap top popped, ready front
-        dropped) — they would be discarded by ``step`` anyway, and counting
-        them made ``run(until)`` overshoot its deadline: a cancelled timer at
-        the heap top reported a time within the deadline, ``step`` skipped it
-        and ran the next live event regardless of its time.  Pruning keeps
-        the deadline exact without touching the ``step`` hot path (``run``
-        with no deadline never calls this).
+        Cancelled entries are pruned here (cancellable-heap top popped, ready
+        front dropped) — they would be discarded by ``step`` anyway, and
+        counting them made ``run(until)`` overshoot its deadline: a cancelled
+        timer at the heap top reported a time within the deadline, ``step``
+        skipped it and ran the next live event regardless of its time.
+        Pruning keeps the deadline exact without touching the ``step`` hot
+        path (``run`` never calls this).
         """
-        heap = self._heap
-        while heap and heap[0][2] is not None and heap[0][2].cancelled:
-            _heappop(heap)
+        canc = self._cancellable
+        while canc and canc[0][2].cancelled:
+            _heappop(canc)
         ready = self._ready
         while ready and ready[0][0] is not None and ready[0][0].cancelled:
             ready.popleft()
-        if heap and heap[0][0] <= self._now:
-            return heap[0][0]
+        fnf = self._timers
+        if fnf:
+            t = fnf[0][0]
+            if canc and canc[0][0] < t:
+                t = canc[0][0]
+        elif canc:
+            t = canc[0][0]
+        else:
+            t = None
+        if t is not None and t <= self._now:
+            return t
         if ready:
             return self._now
-        if heap:
-            return heap[0][0]
-        return None
+        return t
 
     def run(self, until: Optional[float] = None) -> float:
-        """Process events until the queues drain or sim time passes ``until``."""
-        if until is None:
-            while self.step():
-                pass
-        else:
-            while True:
-                t_next = self._next_event_time()
-                if t_next is None or t_next > until:
-                    break
-                self.step()
-            if self._now < until:
-                self._now = until
+        """Process events until the queues drain or sim time passes ``until``.
+
+        The event loop is inlined here (same pop order as :meth:`step`, which
+        stays the one-event entry point): no per-event method call, and the
+        executed-event count is batched into one update per ``run``.
+        """
+        ready = self._ready
+        fnf = self._timers
+        canc = self._cancellable
+        executed = 0
+        bound = float("inf") if until is None else until
+        try:
+            if self._now <= bound:
+                while True:
+                    if fnf:
+                        heap = canc if (canc and canc[0] < fnf[0]) else fnf
+                    elif canc:
+                        heap = canc
+                    else:
+                        heap = None
+                    if heap is not None and (not ready or heap[0][0] <= self._now):
+                        if heap[0][0] > bound:
+                            break
+                        entry = _heappop(heap)
+                        if heap is fnf:
+                            when, _seq, fn, args = entry
+                        else:
+                            when, _seq, token, fn, args = entry
+                            if token.cancelled:
+                                continue
+                        self._now = when
+                    elif ready:
+                        token, fn, args = ready.popleft()
+                        if token is not None and token.cancelled:
+                            continue
+                    else:
+                        break
+                    executed += 1
+                    fn(*args)
+                    if self._crash is not None:
+                        crash, self._crash = self._crash, None
+                        raise crash
+        finally:
+            self.events_executed += executed
+        if until is not None and self._now < until:
+            self._now = until
         return self._now
 
     def run_until(self, fut: Future, limit: Optional[float] = None) -> Any:

@@ -194,7 +194,10 @@ class Network:
 
         Hot path: messages become direct (handle-free) timer entries, and
         jitter sampling is skipped entirely when ``jitter_frac == 0`` so
-        jitterless runs never touch the RNG here.  The fault plane, when
+        jitterless runs never touch the RNG here.  Jitterless intra-region
+        sends on a fault-free network — the RPC ping-pong shape — take a
+        fast lane: the delay is the latency model's ``intra`` constant, with
+        no memo-dict double lookup and no RNG.  The fault plane, when
         installed, may drop the message (partition / packet loss) or add
         per-link delay.
         """
@@ -206,6 +209,12 @@ class Network:
                 self.messages_dropped += 1
                 return
             extra = verdict
+        elif src_region == dst_region:
+            latency = self.latency
+            if latency.jitter_frac == 0.0:
+                self.messages_sent += 1
+                self.sim.timer(latency.intra, fn, *args)
+                return
         try:
             delay = self._base[src_region][dst_region]
         except KeyError:

@@ -15,7 +15,7 @@ attribute check.
 
 from __future__ import annotations
 
-import inspect
+from types import GeneratorType
 from typing import Any, Callable, Dict, Optional
 
 from repro.sim.core import Future, SimError, Simulator
@@ -82,6 +82,60 @@ class EndpointDegradation:
         return self.lag
 
 
+class _PendingCall:
+    """Slotted per-call state: one allocation instead of two closures.
+
+    Holds everything the response path needs — the caller's future, the
+    network, the pre-resolved region pair and addresses — and exposes
+    ``reply`` (server side: send the response back over the network) and
+    ``respond`` (client side: settle the future) as bound methods.  The
+    record also doubles as its own timeout-cancellation token
+    (:meth:`Simulator.timer_token`): ``respond`` flips ``cancelled`` so the
+    armed timeout entry is lazily discarded, with no :class:`Handle`
+    allocated and no separate cancel call.
+    """
+
+    __slots__ = (
+        "fut", "network", "caller_region", "callee_region",
+        "caller_addr", "callee_addr", "cancelled",
+    )
+
+    def __init__(
+        self,
+        fut: Future,
+        network: Network,
+        caller_region: str,
+        callee_region: str,
+        caller_addr: str,
+        callee_addr: str,
+    ):
+        self.fut = fut
+        self.network = network
+        self.caller_region = caller_region
+        self.callee_region = callee_region
+        self.caller_addr = caller_addr
+        self.callee_addr = callee_addr
+        self.cancelled = False
+
+    def reply(self, value: Any, exc: Optional[BaseException]) -> None:
+        # Response travels back over the network to the caller.
+        self.network.deliver_addr(
+            self.callee_region, self.caller_region,
+            self.callee_addr, self.caller_addr,
+            self.respond, value, exc,
+        )
+
+    def respond(self, value: Any, exc: Optional[BaseException]) -> None:
+        fut = self.fut
+        if fut._done:  # timed out already; late response discarded
+            return
+        self.cancelled = True  # lazily discards the armed timeout entry
+        if exc is not None:
+            fut.fail(exc)
+        else:
+            fut.resolve(value)
+
+
 class RpcEndpoint:
     """A network-addressable actor with registered method handlers.
 
@@ -134,46 +188,34 @@ class RpcEndpoint:
         address).  A crashed callee never responds: with no timeout set the
         future simply never resolves, as in a real partitioned network.
         """
-        fut = self.sim.event(name=f"rpc:{address}.{method}")
-        target = self.network.endpoints.get(address)
+        sim = self.sim
+        network = self.network
+        # Constant-ish future name on purpose: the old f"rpc:{addr}.{method}"
+        # built a fresh string per call on the hottest path in the tree.
+        fut = Future(sim, name=method)
+        target = network.endpoints.get(address)
         if target is None:
             fut.fail(RpcError(f"unknown RPC address {address!r}"))
             return fut
         if self.crashed:
             # A crashed caller sends nothing; mirror the callee-crash behaviour.
             if timeout is not None:
-                self.sim.timer(timeout, _timeout_expired, fut, address, method)
+                sim.timer(timeout, _timeout_expired, fut, address, method)
             return fut
 
-        timeout_handle = None
+        pending = _PendingCall(
+            fut, network, self.region, target.region, self.address, address
+        )
         if timeout is not None:
-            # Cancellable handle; the RpcTimeout itself is only materialised
-            # if the timer actually fires (the common case is a reply in time,
-            # where building the exception + message string would be waste).
-            timeout_handle = self.sim.call_after(
-                timeout, _timeout_expired, fut, address, method
-            )
+            # The pending call is its own cancellation token; the RpcTimeout
+            # itself is only materialised if the timer actually fires (the
+            # common case is a reply in time, where building the exception +
+            # message string would be waste).
+            sim.timer_token(timeout, pending, _timeout_expired, fut, address, method)
 
-        def respond(value: Any, exc: Optional[BaseException]) -> None:
-            if fut.done:  # timed out already; late response discarded
-                return
-            if timeout_handle is not None:
-                timeout_handle.cancel()
-            if exc is not None:
-                fut.fail(exc)
-            else:
-                fut.resolve(value)
-
-        def reply(value: Any, exc: Optional[BaseException]) -> None:
-            # Response travels back over the network.
-            self.network.deliver_addr(
-                target.region, self.region, address, self.address,
-                respond, value, exc,
-            )
-
-        self.network.deliver_addr(
+        network.deliver_addr(
             self.region, target.region, self.address, address,
-            target._on_request, method, args, reply,
+            target._on_request, method, args, pending.reply,
         )
         return fut
 
@@ -225,29 +267,32 @@ class RpcEndpoint:
             if reply is not None:
                 reply(None, RemoteError(self.address, method, exc))
             return
-        if inspect.isgenerator(result):
-            proc = self.sim.spawn(
-                result, name=f"{self.address}.{method}", daemon=True
-            )
-            self._live_processes.add(proc)
-
-            def on_done(fut: Future) -> None:
-                self._live_processes.discard(proc)
-                if self.crashed:
-                    return  # crashed while handling; no response escapes
-                if reply is None:
-                    if fut.exception is not None:
-                        raise fut.exception  # one-way handler crashed: surface it
-                    return
-                if fut.exception is not None:
-                    reply(None, RemoteError(self.address, method, fut.exception))
-                else:
-                    reply(fut._value, None)
-
-            proc.result.add_done_callback(on_done)
-        else:
+        # Exact-type check (generators cannot be subclassed): cheaper than
+        # inspect.isgenerator on the per-request path, and the non-generator
+        # branch stays allocation-free — no Future, no Process spawn.
+        if type(result) is not GeneratorType:
             if reply is not None:
                 reply(result, None)
+            return
+        proc = self.sim.spawn(
+            result, name=f"{self.address}.{method}", daemon=True
+        )
+        self._live_processes.add(proc)
+
+        def on_done(fut: Future) -> None:
+            self._live_processes.discard(proc)
+            if self.crashed:
+                return  # crashed while handling; no response escapes
+            if reply is None:
+                if fut.exception is not None:
+                    raise fut.exception  # one-way handler crashed: surface it
+                return
+            if fut.exception is not None:
+                reply(None, RemoteError(self.address, method, fut.exception))
+            else:
+                reply(fut._value, None)
+
+        proc.result.add_done_callback(on_done)
 
 
 def _timeout_expired(fut: Future, address: str, method: str) -> None:

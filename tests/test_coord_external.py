@@ -115,3 +115,63 @@ class TestMembership:
         assert taken == granules
         for g in granules:
             assert baseline.service.data[f"/granules/{g}"] == 0
+
+
+class TestServiceOutageLiveness:
+    """ROADMAP liveness item: a reconfiguration in flight when the service
+    endpoint partitions away must stall, not hang — the bounded
+    request timeout + retry on the service session (``_ServiceClient``)
+    resumes it once the partition heals."""
+
+    @pytest.mark.parametrize(
+        "system,service", [("zk-small", "zk"), ("fdb", "fdb")]
+    )
+    def test_reconfig_in_flight_completes_after_outage(self, system, service):
+        from repro.chaos import coordination_outage
+
+        cluster = make_cluster(system, num_nodes=2, seed=11)
+        cluster.run(until=0.5)
+        # The outage lands while the scale-out below is mid-flight and cuts
+        # the service off from every node, including the joining node 2.
+        schedule = coordination_outage(
+            [0, 1, 2], at=0.6, duration=2.0, service=service
+        )
+        cluster.chaos.run_schedule(schedule)
+        proc = cluster.sim.spawn(
+            cluster.scale_out(1), name="scale-through-outage", daemon=True
+        )
+        # Pre-fix this waits forever on a dropped service reply and the
+        # run_until limit trips; post-fix the reconfiguration rides the
+        # outage out on retries and completes shortly after the heal.
+        summary = cluster.sim.run_until(proc.result, limit=30.0)
+        assert summary["migrated"] > 0
+        assert cluster.sim.now > 2.6  # finished only after the heal at t=2.6
+        assert 2 in cluster.live_node_ids()
+        # The service's authoritative ownership map caught up with the views.
+        owned_by_2 = set(cluster.nodes[2].owned_granules())
+        service_map = {
+            int(path.rsplit("/", 1)[-1]): owner
+            for path, owner in cluster.service.data.items()
+            if path.startswith("/granules/")
+        }
+        assert owned_by_2 == {
+            g for g, owner in service_map.items() if owner == 2
+        }
+
+    def test_retries_are_bounded_when_configured(self):
+        """With ``max_retries`` set, a never-healing outage surfaces
+        RpcTimeout instead of retrying forever."""
+        from repro.chaos import coordination_outage
+        from repro.sim.rpc import RpcTimeout
+
+        cluster = make_cluster("zk-small", num_nodes=2, seed=11)
+        runtime = cluster.nodes[0].runtime
+        runtime.client.request_timeout = 0.2
+        runtime.client.retry_backoff = 0.05
+        runtime.client.max_retries = 3
+        cluster.run(until=0.5)
+        schedule = coordination_outage([0, 1], at=0.6, duration=3600.0)
+        cluster.chaos.run_schedule(schedule)
+        cluster.run(until=0.7)
+        with pytest.raises(RpcTimeout):
+            run_gen(cluster, runtime.client.scan_members(cluster.nodes[0]))

@@ -1,0 +1,223 @@
+"""Property test: the split-heap kernel vs a single-heap reference model.
+
+The split scheduler (ready queue + fire-and-forget heap + cancellable heap,
+one shared seq counter) claims to execute *exactly* the global ``(time,
+scheduling-seq)`` order of the classic single-heap kernel.  The reference
+model here IS that classic kernel, reduced to its ordering essence: every
+scheduling — ``call_soon`` included — takes a ``(when, seq)`` ticket into
+one binary heap, pops run in ``(when, seq)`` order, cancellation is a lazy
+flag.  Hypothesis drives both kernels with the same randomized program of
+interleaved ``call_soon`` / ``call_at`` / ``call_after`` / ``timer`` /
+``timer_token`` / ``cancel`` operations issued from *inside* callbacks
+(heavy on time ties, so the heap-vs-ready merge rule is actually exercised),
+and the execution traces must match event for event.
+"""
+
+import itertools
+import random
+from heapq import heappop, heappush
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.core import Simulator
+
+#: Small discrete delays, repeated values on purpose: ties between heap
+#: entries and ready entries at the same instant are the interesting case.
+DELAYS = (0.0, 0.0, 0.25, 0.5, 0.5, 1.0, 2.5)
+
+KINDS = ("soon", "at", "after", "timer", "timer_token")
+
+
+class Token:
+    """Shared cancellation token: duck-types both Handle and timer_token."""
+
+    cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class ReferenceKernel:
+    """The classic single-heap scheduler, stripped to its ordering contract."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = itertools.count(1)
+        self.now = 0.0
+
+    def _push(self, when, fn):
+        token = Token()
+        heappush(self._heap, (when, next(self._seq), token, fn))
+        return token
+
+    def call_soon(self, fn):
+        return self._push(self.now, fn)
+
+    def call_at(self, when, fn):
+        return self._push(when, fn)
+
+    def call_after(self, delay, fn):
+        return self._push(self.now + delay, fn)
+
+    def timer(self, delay, fn):
+        self._push(self.now + delay, fn)
+        return None
+
+    def timer_token(self, delay, fn):
+        return self._push(self.now + delay, fn)
+
+    def run(self):
+        while self._heap:
+            when, _seq, token, fn = heappop(self._heap)
+            if token.cancelled:
+                continue
+            self.now = when
+            fn()
+
+
+class KernelAdapter:
+    """The real :class:`Simulator` behind the reference's driving surface."""
+
+    def __init__(self):
+        self.sim = Simulator(seed=0)
+
+    @property
+    def now(self):
+        return self.sim.now
+
+    def call_soon(self, fn):
+        return self.sim.call_soon(fn)
+
+    def call_at(self, when, fn):
+        return self.sim.call_at(when, fn)
+
+    def call_after(self, delay, fn):
+        return self.sim.call_after(delay, fn)
+
+    def timer(self, delay, fn):
+        self.sim.timer(delay, fn)
+        return None
+
+    def timer_token(self, delay, fn):
+        token = Token()
+        self.sim.timer_token(delay, token, fn)
+        return token
+
+    def run(self):
+        self.sim.run()
+
+
+def drive(kernel, seed: int, n_initial: int, budget: int = 120):
+    """Run one randomized program against ``kernel``; return its trace.
+
+    The program itself is derived from ``random.Random(seed)`` draws made
+    inside callbacks, so two kernels produce the same program if and only if
+    they execute callbacks in the same order — divergence shows up as a
+    trace mismatch either way.
+    """
+    rng = random.Random(seed)
+    trace = []
+    tokens = []
+    state = {"left": budget, "label": 0}
+
+    def schedule_random():
+        if state["left"] <= 0:
+            return
+        state["left"] -= 1
+        state["label"] += 1
+        label = state["label"]
+        kind = rng.choice(KINDS)
+        delay = rng.choice(DELAYS)
+
+        def cb(label=label):
+            trace.append((label, kernel.now))
+            for _ in range(rng.randrange(3)):
+                schedule_random()
+            if tokens and rng.random() < 0.3:
+                tokens[rng.randrange(len(tokens))].cancel()
+
+        if kind == "soon":
+            token = kernel.call_soon(cb)
+        elif kind == "at":
+            token = kernel.call_at(kernel.now + delay, cb)
+        elif kind == "after":
+            token = kernel.call_after(delay, cb)
+        elif kind == "timer":
+            token = kernel.timer(delay, cb)
+        else:
+            token = kernel.timer_token(delay, cb)
+        if token is not None:
+            tokens.append(token)
+
+    for _ in range(n_initial):
+        schedule_random()
+    kernel.run()
+    return trace
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), n_initial=st.integers(1, 6))
+def test_split_heap_matches_single_heap_reference(seed, n_initial):
+    reference = drive(ReferenceKernel(), seed, n_initial)
+    actual = drive(KernelAdapter(), seed, n_initial)
+    assert actual == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_step_matches_inlined_run(seed):
+    """`step()` (the one-event entry point) pops in the same order as the
+    inlined `run()` loop."""
+    run_trace = drive(KernelAdapter(), seed, 3)
+
+    class StepAdapter(KernelAdapter):
+        def run(self):
+            while self.sim.step():
+                pass
+
+    step_trace = drive(StepAdapter(), seed, 3)
+    assert step_trace == run_trace
+
+
+class TestTimerToken:
+    """Unit coverage for the new caller-token cancellable timer."""
+
+    def test_fires_like_call_after(self):
+        sim = Simulator()
+        seen = []
+        sim.timer_token(1.5, Token(), seen.append, "fired")
+        sim.run()
+        assert seen == ["fired"]
+        assert sim.now == 1.5
+
+    def test_cancelled_token_suppresses_the_callback(self):
+        sim = Simulator()
+        seen = []
+        token = Token()
+        sim.timer_token(1.0, token, seen.append, "no")
+        sim.timer(2.0, seen.append, "yes")
+        token.cancel()
+        sim.run()
+        assert seen == ["yes"]
+
+    def test_past_due_lands_on_the_ready_queue(self):
+        sim = Simulator()
+        seen = []
+        token = Token()
+        sim.timer_token(0.0, token, seen.append, "now")
+        sim.run()
+        assert seen == ["now"]
+        assert sim.now == 0.0
+
+    def test_cancellable_and_fnf_heaps_merge_by_seq(self):
+        """Same-time entries across the two heaps run in scheduling order."""
+        sim = Simulator()
+        order = []
+        sim.call_after(1.0, order.append, "cancellable-first")
+        sim.timer(1.0, order.append, "fnf-second")
+        sim.timer_token(1.0, Token(), order.append, "token-third")
+        sim.timer(1.0, order.append, "fnf-fourth")
+        sim.run()
+        assert order == [
+            "cancellable-first", "fnf-second", "token-third", "fnf-fourth"
+        ]
