@@ -93,6 +93,8 @@ class Cluster:
         #: Set by workload drivers; read by the autoscaler.
         self.client_count = 0
         self.scale_events: List[dict] = []
+        #: RecoveryReports from every ``restart_node(rejoin=True)`` pass.
+        self.recovery_reports: List = []
 
         self._bootstrap()
 
@@ -223,6 +225,13 @@ class Cluster:
     def ground_truth_mtable(self) -> Dict[int, str]:
         home = self.storages[self.config.home_region]
         return home.pagestore.snapshot(MTABLE)
+
+    def all_logs(self) -> Dict[str, "object"]:
+        """Every shared log across all regions, by name (invariant checks)."""
+        merged: Dict[str, object] = {}
+        for storage in self.storages.values():
+            merged.update(storage.logs)
+        return merged
 
     def run(self, until: Optional[float] = None) -> float:
         return self.sim.run(until=until)
@@ -357,8 +366,16 @@ class Cluster:
 
     def fail_node(self, node_id: int) -> None:
         """Freeze a node (the paper's unhealthy-node state, Figure 7)."""
-        self.nodes[node_id].freeze()
+        node = self.nodes[node_id]
+        node.freeze()
         detector = self.detectors.pop(node_id, None)
+        # Readers blocked on GetPage@LSN for appends this writer will now
+        # never make must fail rather than wait forever (the appends that
+        # did land keep replaying normally).
+        storage = self.storages[node.region]
+        log = storage.logs.get(node.glog)
+        if log is not None:
+            storage.replay.fail_waiters(node.glog, log.end_lsn)
 
     def resume_node(self, node_id: int) -> None:
         self.nodes[node_id].unfreeze()
@@ -379,6 +396,13 @@ class Cluster:
         if not rejoin:
             self.metrics.record_node_count(self.sim.now, len(self.live_node_ids()))
             return False
+        # Crash recovery first: scan our WAL, resolve every in-doubt branch
+        # and re-resolve transactions we coordinated (core/recovery.py) —
+        # this must precede the view refresh so prepared-but-undecided
+        # records we wrote are settled before we act on them.
+        report = yield from node.runtime.recover()
+        if report is not None:
+            self.recovery_reports.append(report)
         yield from node.runtime.handle_cas_failure(node.glog)
         yield from node.runtime.handle_cas_failure(SYSLOG)
         if node_id in node.mtable:

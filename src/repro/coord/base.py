@@ -79,6 +79,13 @@ class CoordinationRuntime(abc.ABC):
     def scan_ownership(self) -> Generator:
         """Full granule->owner map for routing (ScanGTableTxn)."""
 
+    def recover(self) -> Generator:
+        """Replay-driven crash recovery on restart (WAL scan + in-doubt
+        resolution).  Default: nothing to recover.  Runtimes that journal
+        2PC progress override this (``repro.core.recovery``)."""
+        return None
+        yield  # pragma: no cover - makes this a generator
+
     # -- bookkeeping ------------------------------------------------------------
 
     @abc.abstractmethod

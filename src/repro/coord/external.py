@@ -248,10 +248,18 @@ class ExternalRuntime(CoordinationRuntime):
         committed = yield from marlin_commit(node, ctx, participants, conditional=False)
         if not committed:
             raise TxnAborted(AbortReason.VALIDATION, "distributed commit aborted")
+        node.stats["two_pc_commits"] += 1
 
     def handle_cas_failure(self, log_name: str) -> Generator:
         return
         yield  # pragma: no cover - generator shape, never reached
+
+    def recover(self) -> Generator:
+        """Same WAL-scan recovery pass as Marlin: the journal vocabulary
+        (TXN_BEGIN / VOTE_YES / PREPARE / TXN_END) is runtime-agnostic."""
+        from repro.core import recovery
+
+        return (yield from recovery.recover_node(self.node))
 
     # -- reconfiguration through the external service -----------------------------
 

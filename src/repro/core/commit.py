@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, List, Sequence, Tuple, Union
 
+from repro.core.participant import fault_point
 from repro.engine.node import glog_name
 from repro.sim.core import Future, Simulator, Timeout
 from repro.storage.log import RecordKind
@@ -117,6 +118,24 @@ def marlin_commit(
         return (yield from _one_phase(node, ctx, participants[0], conditional))
 
     log_names = tuple(sorted(participant_log(node, p) for p in participants))
+
+    # Coordinator intent record: journal PREPARE with the participant-log
+    # list to our own GLog *before* gathering votes, so a restarted
+    # coordinator knows exactly which transactions to re-resolve.
+    fault_point(node, ctx.txn_id, "prepare", "before")
+    prep = yield from node.try_log(
+        node.glog,
+        ctx.txn_id,
+        RecordKind.PREPARE,
+        (),
+        conditional=conditional,
+        participants=log_names,
+    )
+    if not prep.ok:
+        yield from node.runtime.handle_cas_failure(node.glog)
+        return False
+    fault_point(node, ctx.txn_id, "prepare", "after")
+
     vote_futs: List[Future] = []
     for p in participants:
         if isinstance(p, NodeParticipant) and p.node_id == node.node_id:
@@ -148,6 +167,7 @@ def marlin_commit(
     votes = yield gather_votes(node.sim, vote_futs)
     committed = all(votes)
 
+    fault_point(node, ctx.txn_id, "decide", "before")
     for p, voted_yes in zip(participants, votes):
         if isinstance(p, NodeParticipant) and p.node_id == node.node_id:
             if voted_yes:
@@ -167,7 +187,22 @@ def marlin_commit(
                     node.append_decision(p.log_name, ctx.txn_id, committed, conditional),
                     name=f"decision-log:{ctx.txn_id}",
                 )
+    fault_point(node, ctx.txn_id, "decide", "after")
+
+    # Close the coordinator's journal entry.  Best effort and asynchronous:
+    # a missing TXN_END only costs the restarted coordinator an idempotent
+    # re-resolution of this (already decided) transaction.
+    fault_point(node, ctx.txn_id, "end", "before")
+    node.spawn(
+        _journal_txn_end(node, ctx.txn_id), name=f"txn-end:{ctx.txn_id}"
+    )
+    fault_point(node, ctx.txn_id, "end", "after")
     return committed
+
+
+def _journal_txn_end(node: "ComputeNode", txn_id: str):
+    """Advisory TXN_END record; a CAS failure is simply dropped."""
+    yield node.committer.submit(txn_id, RecordKind.TXN_END, ())
 
 
 def _one_phase(
@@ -226,9 +261,9 @@ def terminate_in_doubt(
     node: "ComputeNode",
     txn_id: str,
     participant_logs: Sequence[str],
-    grace: float = 0.01,
-    poll: float = 0.005,
-    max_polls: int = 40,
+    grace: float = None,
+    poll: float = None,
+    max_polls: int = None,
 ) -> Generator:
     """Resolve an in-doubt 2PC transaction from its participant logs (Cornus).
 
@@ -239,8 +274,18 @@ def terminate_in_doubt(
        each silent log — if the claim lands before that participant's vote,
        the vote's CAS fails and the transaction aborts everywhere.
 
+    ``grace``/``poll``/``max_polls`` default to the node's calibration
+    (``NodeParams.term_grace`` / ``term_poll`` / ``term_max_polls``) so a
+    scenario can tune termination aggressiveness per node.
+
     Returns True (committed) or False (aborted).
     """
+    if grace is None:
+        grace = node.params.term_grace
+    if poll is None:
+        poll = node.params.term_poll
+    if max_polls is None:
+        max_polls = node.params.term_max_polls
     yield Timeout(grace)
     polls = 0
     while True:
@@ -264,20 +309,41 @@ def terminate_in_doubt(
         if polls < max_polls:
             yield Timeout(poll)
             continue
-        # Claim aborts in the silent logs.
+        # Claim aborts in the silent logs.  A single CAS loses to unrelated
+        # traffic on a busy log, so retry at the refreshed tail (try_log
+        # updates the tracker on failure) until the claim lands or the log
+        # stops being silent — bail to the outer re-read if this txn's vote
+        # or a decision appears, since the claim must not overrule either.
         claimed_all = True
         for log_name, (_outcome, voted) in zip(participant_logs, outcomes):
             if voted:
                 continue
-            result = yield from node.try_log(
-                log_name, txn_id, RecordKind.DECISION_ABORT, (), conditional=True
-            )
-            if not result.ok:
+            claimed = False
+            for _attempt in range(8):
+                result = yield from node.try_log(
+                    log_name,
+                    txn_id,
+                    RecordKind.DECISION_ABORT,
+                    (),
+                    conditional=True,
+                )
+                if result.ok:
+                    claimed = True
+                    break
+                decided_now, voted_now = yield node.storage_call(
+                    "txn_outcome", log_name, txn_id, log=log_name
+                )
+                if decided_now is not None or voted_now:
+                    break
+            if not claimed:
                 claimed_all = False
         if claimed_all:
             _finalize(node, txn_id, participant_logs, outcomes, False)
             return False
-        yield Timeout(poll)  # raced with someone; re-read the logs
+        # Raced with another resolver (or the vote itself); back off with
+        # seeded jitter so lockstep resolvers don't re-collide every round,
+        # then re-read the logs.
+        yield Timeout(poll * (0.5 + node.sim.rng.random()))
 
 
 def _finalize(node, txn_id, participant_logs, outcomes, committed: bool) -> None:

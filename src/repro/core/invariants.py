@@ -19,7 +19,16 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, Optional
 
-__all__ = ["InvariantViolation", "check_invariants", "check_view_consistency"]
+from repro.storage.log import RecordKind
+
+__all__ = [
+    "InvariantViolation",
+    "check_atomicity",
+    "check_durability",
+    "check_invariants",
+    "check_no_leaked_locks",
+    "check_view_consistency",
+]
 
 
 class InvariantViolation(AssertionError):
@@ -72,4 +81,86 @@ def check_view_consistency(nodes: Iterable, num_granules: int) -> None:
         if not claims.get(granule):
             raise InvariantViolation(
                 f"I5 violated: granule {granule} claimed by no live node"
+            )
+
+
+def _first_decisions(log) -> Dict[str, bool]:
+    """First decision record per transaction in one log (log-once rule)."""
+    decisions: Dict[str, bool] = {}
+    for record in log.records:
+        if record.txn_id in decisions:
+            continue
+        if record.kind is RecordKind.DECISION_COMMIT:
+            decisions[record.txn_id] = True
+        elif record.kind is RecordKind.DECISION_ABORT:
+            decisions[record.txn_id] = False
+    return decisions
+
+
+def check_atomicity(logs: Dict[str, object]) -> None:
+    """**Atomicity across granules**: no transaction may commit on one
+    participant log and abort on another.
+
+    Under the log-once rule the *first* decision record in each log is that
+    log's authoritative outcome; a cross-log disagreement would mean a
+    granule holds a committed write whose sibling granule aborted.
+    """
+    outcome_by_txn: Dict[str, Dict[str, bool]] = defaultdict(dict)
+    for log_name, log in logs.items():
+        for txn_id, committed in _first_decisions(log).items():
+            outcome_by_txn[txn_id][log_name] = committed
+    for txn_id, per_log in sorted(outcome_by_txn.items()):
+        if len(set(per_log.values())) > 1:
+            raise InvariantViolation(
+                f"atomicity violated: {txn_id} decided "
+                + ", ".join(
+                    f"{log}={'commit' if c else 'abort'}"
+                    for log, c in sorted(per_log.items())
+                )
+            )
+
+
+def check_durability(logs: Dict[str, object], live_log_names: Iterable[str]) -> None:
+    """**Durability / no stranded prepares**: at quiescence, no *live* log
+    may hold a VOTE_YES without a decision record.
+
+    An undecided vote in a live log is a branch whose redo updates sit
+    buffered in the page store forever — a prepared transaction neither
+    recovery nor termination resolved.  Logs of dead nodes are exempt: their
+    votes are settled lazily by whoever next reads them (Cornus).
+    """
+    live = set(live_log_names)
+    for log_name in sorted(live):
+        log = logs.get(log_name)
+        if log is None:
+            continue
+        decisions = _first_decisions(log)
+        voted = set()
+        for record in log.records:
+            if record.kind is RecordKind.VOTE_YES:
+                voted.add(record.txn_id)
+        stranded = sorted(voted - set(decisions))
+        if stranded:
+            raise InvariantViolation(
+                f"durability violated: {log_name} holds undecided votes "
+                f"for {stranded}"
+            )
+
+
+def check_no_leaked_locks(nodes: Iterable) -> None:
+    """**No leaked prepared locks**: on every live node, each lock-holding
+    transaction must still have an in-flight context.
+
+    A holder with no context is a branch whose locks outlived its
+    resolution — past a crash/recovery cycle they would block the granule's
+    keys forever.
+    """
+    for node in nodes:
+        if getattr(node, "frozen", False):
+            continue
+        leaked = sorted(node.locks.holding_txns() - set(node.txns))
+        if leaked:
+            raise InvariantViolation(
+                f"lock leak on node {node.node_id}: {leaked} hold locks "
+                "with no in-flight transaction context"
             )

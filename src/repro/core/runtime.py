@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Generator, Iterable, List, Optional
 
 from repro.coord.base import CoordinationRuntime
-from repro.core import reconfig
+from repro.core import reconfig, recovery
 from repro.core.commit import NodeParticipant, marlin_commit, terminate_in_doubt
 from repro.engine.locks import LockConflict
 from repro.engine.node import GTABLE, MTABLE, SYSLOG, glog_name
@@ -75,6 +75,11 @@ class MarlinRuntime(CoordinationRuntime):
         committed = yield from marlin_commit(node, ctx, participants)
         if not committed:
             raise TxnAborted(AbortReason.CAS_CONFLICT, "distributed commit aborted")
+        node.stats["two_pc_commits"] += 1
+
+    def recover(self) -> Generator:
+        """Crash recovery: WAL scan + in-doubt resolution (core/recovery.py)."""
+        return (yield from recovery.recover_node(self.node))
 
     # -- ClearMetaCache + refresh (§4.3.2) ----------------------------------------
 

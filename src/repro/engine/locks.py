@@ -172,6 +172,10 @@ class LockTable:
     def held_by(self, txn_id: str) -> Set[object]:
         return set(self._held_by_txn.get(txn_id, ()))
 
+    def holding_txns(self) -> Set[str]:
+        """Transaction ids currently holding at least one lock."""
+        return set(self._held_by_txn)
+
     def waiting(self, key: object) -> int:
         lock = self._locks.get(key)
         return len(lock.waiters) if lock else 0

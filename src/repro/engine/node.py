@@ -33,14 +33,33 @@ from repro.engine.txn import (
     TxnAborted,
     TxnContext,
     WrongNodeError,
+    invariant_confluent,
 )
-from repro.sim.core import Future, Simulator, Timeout, all_of
+from repro.sim.core import Future, SimError, Simulator, Timeout, all_of
 from repro.sim.network import Network
 from repro.sim.resources import CpuResource, Mutex
 from repro.sim.rpc import RemoteError, RpcEndpoint, RpcTimeout
-from repro.storage.log import AppendResult, Delete, Put, RecordKind
+from repro.storage.log import AppendResult, Delete, Increment, Put, RecordKind
 
-__all__ = ["ComputeNode", "NodeParams", "TxnOp", "TxnSpec", "node_address"]
+__all__ = [
+    "ComputeNode",
+    "NodeCrashed",
+    "NodeParams",
+    "TxnOp",
+    "TxnSpec",
+    "node_address",
+]
+
+
+class NodeCrashed(SimError):
+    """Raised when a frozen node is asked to initiate new WAL work.
+
+    A process forked in the instants between a crash and the crashing
+    process's next yield (e.g. a vote branch spawned by a coordinator dying
+    at a fault point) would otherwise create a fresh log gate, acquire it,
+    and block forever on the dead endpoint — orphaning the gate and
+    deadlocking the post-restart recovery pass queued behind it.
+    """
 
 
 def node_address(node_id: int) -> str:
@@ -58,11 +77,17 @@ MTABLE = "mtable"
 
 @dataclass(frozen=True)
 class TxnOp:
-    """One operation of a user transaction."""
+    """One operation of a user transaction.
+
+    ``incr`` marks a blind commutative increment: a transaction made up
+    entirely of such ops is invariant-confluent and eligible for the
+    coordination-free fast path (no locks, no 2PC).
+    """
 
     write: bool
     table: str
     key: int
+    incr: bool = False
 
 
 @dataclass(frozen=True)
@@ -100,6 +125,12 @@ class NodeParams:
     #: Source-side scan time to stream one granule's pages (64 KB @ ~2 Gbps).
     warmup_time_per_granule: float = 500e-6
     group_commit_batch: int = 64
+    #: Cornus-style in-doubt termination (core/commit.py): how long to let
+    #: the coordinator finish on its own, the poll interval while watching
+    #: the participant logs, and how many polls before claiming an abort.
+    term_grace: float = 0.01
+    term_poll: float = 0.005
+    term_max_polls: int = 40
 
 
 class ComputeNode:
@@ -153,6 +184,9 @@ class ComputeNode:
         self.wal_conditional = True
         self.frozen = False
         self._procs: List = []
+        #: Chaos hook invoked at every journaled FSM edge (core/participant.py
+        #: ``fault_point``); armed by the recovery fault-point sweep.
+        self.fault_hook = None
 
         self.stats = {
             "committed": 0,
@@ -161,11 +195,14 @@ class ComputeNode:
             "lock_conflicts": 0,
             "cas_aborts": 0,
             "branches_served": 0,
+            "fast_path_commits": 0,
+            "two_pc_commits": 0,
         }
 
         for method, handler in (
             ("user_txn", self._h_user_txn),
             ("user_branch", self._h_user_branch),
+            ("branch_fast", self._h_branch_fast),
             ("branch_abort", self._h_branch_abort),
             ("vote_req", self._h_vote_req),
             ("decision", self._h_decision),
@@ -274,6 +311,8 @@ class ComputeNode:
         Returns the :class:`AppendResult`; on failure the tracker is updated
         with the log's current LSN so the caller can refresh and retry.
         """
+        if self.frozen:
+            raise NodeCrashed(f"node-{self.node_id}: try_log({log_name}) while frozen")
         gate = self.log_gate(log_name)
         yield gate.acquire()
         try:
@@ -323,6 +362,8 @@ class ComputeNode:
     # -- user transaction execution ----------------------------------------------
 
     def _h_user_txn(self, spec: TxnSpec):
+        if invariant_confluent(spec.ops):
+            return (yield from self._h_user_txn_fast(spec))
         ctx = TxnContext(self.node_id)
         self.txns[ctx.txn_id] = ctx
         ctx.start_time = self.sim.now
@@ -450,6 +491,21 @@ class ComputeNode:
                 self.runtime.check_ownership(ctx, granule)
             self._acquire_and_stage(ctx, list(ops))
             yield from self._execute_ops(ctx, list(ops))
+            # Durably journal that this branch joined the transaction
+            # (INITIALIZE -> ACTIVE).  A TXN_BEGIN with no later vote lets
+            # recovery claim an abort without consulting anyone: the
+            # coordinator cannot have committed without our vote.
+            ctx.fsm = ParticipantFSM(txn_id)
+            fault_point(self, txn_id, "begin", "before")
+            result = yield self.committer.submit(txn_id, RecordKind.TXN_BEGIN, ())
+            if not result.ok:
+                if self.runtime is not None:
+                    yield from self.runtime.handle_cas_failure(self.glog)
+                raise TxnAborted(
+                    AbortReason.CAS_CONFLICT, f"txn-begin CAS on {self.glog}"
+                )
+            ctx.fsm.to(TxnState.ACTIVE)
+            fault_point(self, txn_id, "begin", "after")
             return True
         except TxnAborted:
             self.locks.release_all(txn_id)
@@ -461,6 +517,117 @@ class ComputeNode:
         if ctx is not None:
             self.locks.release_all(txn_id)
 
+    # -- coordination-free fast path ----------------------------------------------
+
+    def _h_user_txn_fast(self, spec: TxnSpec):
+        """Commit an invariant-confluent transaction without any coordination.
+
+        Blind commutative increments merge regardless of order and subset
+        visibility, so each owner's share is appended to that owner's WAL as
+        an independent one-phase commit — no locks, no votes, no decision
+        records (Bailis et al., coordination avoidance).  Cross-owner
+        atomicity is deliberately *not* provided: any interleaving of the
+        per-owner appends yields the same converged counters, which is
+        exactly what makes the coordination safe to skip.
+        """
+        ctx = TxnContext(self.node_id)
+        ctx.start_time = self.sim.now
+        try:
+            home = self.gmap.granule_of(spec.home_key)
+            home_owner = self.gtable.get(home)
+            if home_owner != self.node_id:
+                raise WrongNodeError(home, home_owner)
+            local: List[TxnOp] = []
+            remote: Dict[int, List[TxnOp]] = {}
+            for op in spec.ops:
+                granule = self.gmap.granule_of(op.key)
+                owner = self.gtable.get(granule)
+                if owner == self.node_id:
+                    local.append(op)
+                elif owner is None:
+                    raise WrongNodeError(granule, None)
+                else:
+                    remote.setdefault(owner, []).append(op)
+            futs = [
+                self.peer_call(
+                    owner,
+                    "branch_fast",
+                    ctx.txn_id,
+                    tuple(ops),
+                    timeout=self.params.vote_timeout,
+                )
+                for owner, ops in sorted(remote.items())
+            ]
+            if local:
+                yield from self.cpu.run(len(local) * self.params.op_cpu)
+                yield from self._append_increments(ctx.txn_id, local)
+            if futs:
+                try:
+                    yield all_of(self.sim, futs)
+                except RemoteError as err:
+                    if isinstance(err.cause, TxnAborted):
+                        raise TxnAborted(
+                            err.cause.reason, err.cause.detail
+                        ) from err
+                    raise TxnAborted(AbortReason.VALIDATION, str(err)) from err
+                except RpcTimeout as err:
+                    raise TxnAborted(AbortReason.NODE_FAILED, str(err)) from err
+            ctx.mark_committed()
+            self.stats["committed"] += 1
+            if futs:
+                # Count only multi-owner commits: these are the transactions
+                # that would otherwise have paid for 2PC.
+                self.stats["fast_path_commits"] += 1
+            return {"status": "committed", "fast_path": True}
+        except TxnAborted as abort:
+            ctx.mark_aborted(abort.reason)
+            self.stats["aborted"] += 1
+            if abort.reason is AbortReason.WRONG_NODE:
+                self.stats["wrong_node"] += 1
+            elif abort.reason is AbortReason.CAS_CONFLICT:
+                self.stats["cas_aborts"] += 1
+            raise
+
+    def _append_increments(self, txn_id: str, ops: List[TxnOp]):
+        """One-phase-commit this node's increment share, retrying through CAS.
+
+        A CAS failure means someone else appended to our WAL (ownership may
+        have moved): refresh the view, re-check ownership, and retry — the
+        increments commute, so a retry after refresh is always safe.
+        """
+        entries = tuple(Increment(op.table, op.key, 1) for op in ops)
+        for _attempt in range(5):
+            result = yield self.committer.submit(
+                txn_id, RecordKind.COMMIT_DATA, entries
+            )
+            if result.ok:
+                return result
+            if self.runtime is not None:
+                yield from self.runtime.handle_cas_failure(self.glog)
+            for op in ops:
+                granule = self.gmap.granule_of(op.key)
+                owner = self.gtable.get(granule)
+                if owner != self.node_id:
+                    raise WrongNodeError(granule, owner)
+        raise TxnAborted(
+            AbortReason.CAS_CONFLICT, f"fast-path append on {self.glog}"
+        )
+
+    def _h_branch_fast(self, txn_id: str, ops: Tuple[TxnOp, ...]):
+        """Append a remote owner's increment share (fast-path branch)."""
+        self.stats["branches_served"] += 1
+        ctx = TxnContext(self.node_id)
+        try:
+            for granule in sorted({self.gmap.granule_of(op.key) for op in ops}):
+                self.runtime.check_ownership(ctx, granule)
+            yield from self.cpu.run(len(ops) * self.params.op_cpu)
+            yield from self._append_increments(txn_id, list(ops))
+        finally:
+            # The GTable read locks pin ownership only until the append is
+            # durable; without this release every served branch leaks them.
+            self.locks.release_all(ctx.txn_id)
+        return True
+
     # -- 2PC participant protocol ---------------------------------------------
 
     def _h_vote_req(self, txn_id: str, conditional: bool, participants: tuple = ()):
@@ -468,6 +635,13 @@ class ComputeNode:
         ctx = self.txns.get(txn_id)
         if ctx is None:
             return False
+        fsm = getattr(ctx, "fsm", None)
+        if fsm is None:
+            # Branch staged outside user_branch (e.g. migration prepare):
+            # adopt it into the FSM at the point it provably reached.
+            fsm = ctx.fsm = ParticipantFSM(txn_id)
+            fsm.to(TxnState.ACTIVE)
+        fault_point(self, txn_id, "vote", "before")
         result = yield from self.try_log(
             self.glog,
             txn_id,
@@ -478,6 +652,8 @@ class ComputeNode:
         )
         if result.ok:
             ctx.voted = True
+            fsm.to(TxnState.PREPARED)
+            fault_point(self, txn_id, "vote", "after")
         elif self.runtime is not None:
             yield from self.runtime.handle_cas_failure(self.glog)
         return bool(result.ok)
@@ -487,14 +663,22 @@ class ComputeNode:
         ctx = self.txns.pop(txn_id, None)
         if ctx is None:
             return False
+        fault_point(self, txn_id, "decide", "before")
         if commit:
             self.apply_committed(ctx)
         self.locks.release_all(txn_id)
+        fsm = getattr(ctx, "fsm", None)
+        if fsm is not None and not fsm.terminal:
+            # A commit decision must find the branch PREPARED (the FSM raises
+            # otherwise — a commit without our vote is a protocol violation);
+            # aborts are legal from every non-terminal state.
+            fsm.to(TxnState.COMMITTED if commit else TxnState.ABORTED)
         if getattr(ctx, "voted", False):
             self.spawn(
                 self.append_decision(self.glog, txn_id, commit, conditional),
                 name=f"decision:{txn_id}",
             )
+        fault_point(self, txn_id, "decide", "after")
         return True
 
     def append_decision(
@@ -583,3 +767,9 @@ class ComputeNode:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ComputeNode({self.node_id}, region={self.region!r})"
+
+
+# Imported last: repro.core's package __init__ pulls in modules that import
+# names from this one, so a top-of-file import would see a half-initialized
+# module whenever engine.node is imported before repro.core.
+from repro.core.participant import ParticipantFSM, TxnState, fault_point  # noqa: E402

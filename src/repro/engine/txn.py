@@ -23,6 +23,7 @@ __all__ = [
     "TxnContext",
     "TxnStatus",
     "WrongNodeError",
+    "invariant_confluent",
 ]
 
 _txn_counter = itertools.count(1)
@@ -62,6 +63,22 @@ class WrongNodeError(TxnAborted):
         super().__init__(AbortReason.WRONG_NODE, f"granule={granule} owner={owner}")
         self.granule = granule
         self.owner = owner
+
+
+def invariant_confluent(ops) -> bool:
+    """True iff a transaction may bypass atomic commitment entirely.
+
+    The conservative I-confluence test (Bailis et al., *Coordination
+    Avoidance in Database Systems*): a transaction composed solely of blind
+    commutative increments preserves any increment-tolerant invariant under
+    arbitrary merge order, so each owner's share can be appended as an
+    independent one-phase commit — no votes, no decision records, no locks.
+    Anything with a read, a plain write or a delete stays on the 2PC path.
+    """
+    ops = tuple(ops)
+    return bool(ops) and all(
+        op.write and getattr(op, "incr", False) for op in ops
+    )
 
 
 class TxnContext:

@@ -28,6 +28,7 @@ from repro.experiments import (
     fig13,
     fig14,
     fig15,
+    fig16_recovery,
 )
 from repro.experiments.harness import (
     EXP_NODE_PARAMS,
@@ -64,6 +65,7 @@ FIGURES = {
     "fig13": fig13,
     "fig14": fig14,
     "fig15": fig15,
+    "fig16_recovery": fig16_recovery,
     "detector_sweep": detector_sweep,
 }
 
@@ -93,6 +95,7 @@ __all__ = [
     "fig13",
     "fig14",
     "fig15",
+    "fig16_recovery",
     "run_cells",
     "run_scale_out_scenario",
     "run_spec",

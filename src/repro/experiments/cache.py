@@ -13,11 +13,11 @@ Key derivation
 ``key(spec) = sha256("epoch=<E>;" + canonical_json(spec.to_dict()))`` where
 canonical JSON is ``json.dumps(..., sort_keys=True, separators=(",", ":"))``.
 The **code epoch** ``E`` folds the simulator's behavioural version into every
-key: any PR that changes what a seeded run produces (scheduler order, RNG
-draw order, latency constants, metrics accounting — in practice, anything
-that would re-capture the ``test_kernel_determinism`` goldens or the spec
-parity goldens) must bump :data:`CACHE_EPOCH`, which atomically invalidates
-every cached cell without touching the files.
+key.  It is *derived*, not hand-maintained: :data:`CACHE_EPOCH` is a content
+hash of the determinism + spec-parity goldens
+(:func:`repro.experiments.goldens.cache_epoch`), so any PR that changes what
+a seeded run produces re-captures those goldens and thereby atomically
+invalidates every cached cell — forgetting the bump is impossible.
 
 Entries are stored as ``<root>/<key>.pkl`` — the pickled
 :class:`~repro.experiments.parallel.PortableRunResult`, byte-identical to
@@ -42,20 +42,22 @@ import pathlib
 import pickle
 from typing import Any, Dict, Optional, Union
 
+from repro.experiments.goldens import cache_epoch
+
 __all__ = ["CACHE_EPOCH", "ResultCache", "resolve_cache"]
 
-#: Behavioural version of the simulator folded into every cache key.  Bump
-#: this in any PR that changes what a seeded run produces (see module
-#: docstring); stale entries then miss instead of serving wrong results.
-CACHE_EPOCH = 1
+#: Behavioural version of the simulator folded into every cache key —
+#: derived from the behavioural goldens (see module docstring); stale
+#: entries miss instead of serving wrong results.
+CACHE_EPOCH = cache_epoch()
 
 
 class ResultCache:
     """A directory of content-addressed ``PortableRunResult`` pickles."""
 
-    def __init__(self, root, epoch: int = CACHE_EPOCH):
+    def __init__(self, root, epoch: str = CACHE_EPOCH):
         self.root = pathlib.Path(root)
-        self.epoch = int(epoch)
+        self.epoch = str(epoch)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0

@@ -1,0 +1,294 @@
+"""Figure 16-style "crash recovery + coordination avoidance" experiment.
+
+Two questions in one grid, both downstream of the participant-FSM work:
+
+1. **Recovery**: crash a node mid-run (participant or the busiest
+   coordinator) with distributed transactions in flight, restart it, and
+   let the WAL redo/undo pass (``core/recovery.py``) resolve every in-doubt
+   branch.  Columns report what recovery actually found and settled —
+   in-doubt votes, begun-unvoted branches, reopened coordinator PREPAREs.
+
+2. **Coordination avoidance**: a slice of the workload
+   (``incr_fraction``) is global-counter increments — invariant-confluent
+   transactions that bypass 2PC entirely on the fast path.  The
+   ``fast_frac`` column is the fraction of would-be-distributed commits
+   that avoided coordination.
+
+Every cell is a thin spec over :func:`recovery_spec`; identical fault
+timing across systems, same as fig7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.participant import EDGE_NAMES
+from repro.experiments.harness import FigureResult, SYSTEM_LABELS, scaled
+from repro.experiments.parallel import raise_failures, run_cells
+from repro.experiments.runner import SpecRunResult
+from repro.experiments.spec import (
+    FaultSpec,
+    ProbeSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "CRASH_KINDS",
+    "EDGE_POINTS",
+    "edge_kind",
+    "recovery_spec",
+    "run",
+    "run_grid",
+    "summarize",
+]
+
+DEFAULT_SYSTEMS = ("marlin",)
+
+FAULT_AT = 3.0
+DURATION = 14.0
+#: Fraction of transactions that are cross-granule global-counter
+#: increments (the coordination-free fast-path population).
+INCR_FRACTION = 0.25
+#: Fraction of the remaining transactions that also write a second random
+#: granule — ordinary writes forced through full 2PC, so there are always
+#: distributed transactions in flight when the crash lands.
+REMOTE_FRACTION = 0.25
+
+#: Crash schedules.  Node 0 coordinates every distributed transaction whose
+#: home key lands in its range; node 1 is a plain participant.
+CRASH_KINDS: Dict[str, list] = {
+    "crash_participant": [
+        {"at": FAULT_AT, "kind": "crash", "node": 1, "rejoin": True,
+         "duration": 3.0},
+    ],
+    "crash_coordinator": [
+        {"at": FAULT_AT, "kind": "crash", "node": 0, "rejoin": True,
+         "duration": 3.0},
+    ],
+    # Flickers rejoin *inside* the 2s vote timeout: survivors have not yet
+    # terminated the victim's in-flight transactions, so the restart-time
+    # WAL pass is what classifies and resolves them (nonzero begun_unvoted
+    # / in_doubt / coordinator_open columns).
+    "flicker_participant": [
+        {"at": FAULT_AT, "kind": "crash", "node": 1, "rejoin": True,
+         "duration": 0.5},
+        {"at": FAULT_AT + 4.0, "kind": "crash", "node": 2, "rejoin": True,
+         "duration": 0.5},
+    ],
+    "flicker_coordinator": [
+        {"at": FAULT_AT, "kind": "crash", "node": 0, "rejoin": True,
+         "duration": 0.5},
+        {"at": FAULT_AT + 4.0, "kind": "crash", "node": 0, "rejoin": True,
+         "duration": 0.5},
+    ],
+    # Overlapping windows: with both a coordinator and a participant down
+    # at once, Cornus-style survivor-side termination can't settle every
+    # in-flight transaction — the restart-time WAL recovery pass has to.
+    "crash_both": [
+        {"at": FAULT_AT, "kind": "crash", "node": 1, "rejoin": True,
+         "duration": 3.0},
+        {"at": FAULT_AT + 0.2, "kind": "crash", "node": 0, "rejoin": True,
+         "duration": 3.0},
+    ],
+}
+
+#: How long a killed FSM-edge victim stays down before its WAL-recovery
+#: restart.  Deliberately *inside* the 2s vote timeout: survivors have not
+#: finished terminating the victim's in-flight branches, so the restart-time
+#: recovery pass does real classification/resolution work.
+EDGE_REJOIN_AFTER = 0.5
+
+#: Which node each role's edge kill targets.  Node 0 coordinates its own
+#: clients' cross-granule transactions; node 1 serves as a participant for
+#: everyone else's.  (A node plays both roles, so a "decide" kill can land
+#: in either context — any journaled transition is a legal crash point.)
+VICTIM_BY_ROLE = {"coordinator": 0, "participant": 1}
+
+#: Every (role, edge, phase) fault point: the full FSM-edge kill grid.
+EDGE_POINTS: Tuple[Tuple[str, str, str], ...] = tuple(
+    (role, edge, phase)
+    for role in sorted(EDGE_NAMES)
+    for edge in EDGE_NAMES[role]
+    for phase in ("before", "after")
+)
+
+
+def edge_kind(role: str, edge: str, phase: str) -> str:
+    return f"edge_{role}_{edge}_{phase}"
+
+
+#: All grid rows: wall-clock crashes plus one cell per FSM-edge kill.
+ALL_KINDS: Tuple[str, ...] = tuple(sorted(CRASH_KINDS)) + tuple(
+    edge_kind(*point) for point in EDGE_POINTS
+)
+
+SLO_P99_S = 0.8
+SLO_UNAVAILABILITY_S = 4.0
+
+
+def recovery_spec(
+    system: str,
+    crash_kind: str,
+    scale: float = 1.0,
+    seed: int = 1,
+    incr_fraction: float = INCR_FRACTION,
+    remote_fraction: float = REMOTE_FRACTION,
+) -> ScenarioSpec:
+    """One (system, crash kind) cell: mixed 2PC + fast-path load, one crash.
+
+    ``crash_kind`` is either a wall-clock schedule from :data:`CRASH_KINDS`
+    or an ``edge_<role>_<edge>_<phase>`` FSM-edge kill from
+    :data:`EDGE_POINTS`.
+    """
+    schedule: list = []
+    fault_points: list = []
+    if crash_kind in CRASH_KINDS:
+        schedule = CRASH_KINDS[crash_kind]
+    elif crash_kind.startswith("edge_"):
+        try:
+            role, edge, phase = crash_kind[len("edge_"):].split("_")
+            victim = VICTIM_BY_ROLE[role]
+        except (ValueError, KeyError):
+            raise ValueError(f"malformed edge crash kind {crash_kind!r}")
+        fault_points = [
+            {
+                "node": victim,
+                "edge": edge,
+                "phase": phase,
+                "at": FAULT_AT,
+                "rejoin_after": EDGE_REJOIN_AFTER,
+            }
+        ]
+    else:
+        raise ValueError(
+            f"unknown crash kind {crash_kind!r}; expected one of "
+            f"{sorted(ALL_KINDS)}"
+        )
+    clients = scaled(32, scale, minimum=8)
+    return ScenarioSpec(
+        name=f"fig16-{crash_kind}-{system}",
+        topology=TopologySpec(nodes=4, coordination=system),
+        workload=WorkloadSpec(
+            kind="ycsb",
+            clients=clients,
+            granules=scaled(1600, scale, minimum=64),
+            incr_fraction=incr_fraction,
+            remote_fraction=remote_fraction,
+        ),
+        faults=FaultSpec(
+            schedule=schedule,
+            fault_points=fault_points,
+            failure_detection=True,
+        ),
+        probes=[
+            ProbeSpec(
+                name="p99_latency", kind="latency", pct=99.0,
+                threshold=SLO_P99_S,
+            ),
+            ProbeSpec(
+                name="unavailability",
+                kind="unavailability",
+                threshold=SLO_UNAVAILABILITY_S,
+            ),
+        ],
+        seed=seed,
+        duration=DURATION,
+        # Fenced-but-alive victims hold stale views at quiescence; the
+        # chaos/recovery tests own the ground-truth invariant assertions.
+        check_invariants=False,
+    )
+
+
+def run_grid(
+    scale: float = 1.0,
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    seed: int = 1,
+    crash_kinds: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    cache=None,
+) -> Dict[Tuple[str, str], SpecRunResult]:
+    """The (crash kind x system) grid; same pool/cache semantics as fig7."""
+    kinds = list(crash_kinds) if crash_kinds is not None else list(ALL_KINDS)
+    keys = [(kind, system) for kind in kinds for system in systems]
+    specs = [
+        recovery_spec(system, kind, scale=scale, seed=seed)
+        for kind, system in keys
+    ]
+    results = run_cells(specs, workers=workers, cache=cache)
+    raise_failures(results, context="fig16_recovery")
+    return dict(zip(keys, results))
+
+
+def summarize(results: Dict[Tuple[str, str], SpecRunResult]) -> FigureResult:
+    fig = FigureResult(
+        "Figure 16",
+        "Crash recovery (WAL redo/undo) + coordination-avoidance fraction",
+    )
+    for (kind, system), result in sorted(results.items()):
+        m = result.metrics
+        probes = {p.name: p for p in result.probes}
+        coord = result.extras.get("coordination", {})
+        recovery = result.extras.get("recovery", {})
+        fig.add_row(
+            crash=kind,
+            system=SYSTEM_LABELS.get(system, system),
+            committed=m.total_committed,
+            aborted=m.total_aborted,
+            recovery_passes=recovery.get("passes", 0),
+            in_doubt=recovery.get("in_doubt", 0),
+            begun_unvoted=recovery.get("begun_unvoted", 0),
+            coordinator_open=recovery.get("coordinator_open", 0),
+            recovered_commit=recovery.get("committed", 0),
+            recovered_abort=recovery.get("aborted", 0),
+            fast_commits=coord.get("fast_path_commits", 0),
+            two_pc_commits=coord.get("two_pc_commits", 0),
+            fast_frac=coord.get("avoided_fraction", 0.0),
+            p99_s=probes["p99_latency"].value,
+            unavail_s=probes["unavailability"].value,
+            slo_ok=result.slo_ok,
+        )
+    marlin_rows = [
+        row for row in fig.rows if row["system"] == SYSTEM_LABELS["marlin"]
+    ]
+    if marlin_rows:
+        fig.findings["marlin_recovery_passes"] = sum(
+            row["recovery_passes"] for row in marlin_rows
+        )
+        fig.findings["marlin_recovered_txns"] = sum(
+            row["recovered_commit"] + row["recovered_abort"]
+            for row in marlin_rows
+        )
+        fracs = [row["fast_frac"] for row in marlin_rows if row["fast_frac"]]
+        if fracs:
+            fig.findings["marlin_mean_avoided_fraction"] = sum(fracs) / len(
+                fracs
+            )
+    return fig
+
+
+def run(
+    scale: float = 1.0,
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    seed: int = 1,
+    crash_kinds: Optional[Sequence[str]] = None,
+    results: Optional[Dict[Tuple[str, str], SpecRunResult]] = None,
+    workers: Optional[int] = None,
+    cache=None,
+) -> FigureResult:
+    if results is None:
+        results = run_grid(
+            scale=scale,
+            systems=systems,
+            seed=seed,
+            crash_kinds=crash_kinds,
+            workers=workers,
+            cache=cache,
+        )
+    return summarize(results)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run(scale=0.25).format_table())

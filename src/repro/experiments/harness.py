@@ -23,7 +23,7 @@ from repro.cluster.cost import CostReport
 from repro.engine.node import NodeParams
 from repro.workload.client import Client, Router
 from repro.workload.tpcc import TpccWorkload
-from repro.workload.ycsb import YcsbWorkload
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
 
 __all__ = [
     "EXP_NODE_PARAMS",
@@ -153,6 +153,8 @@ def start_clients(
     workload_kind: str = "ycsb",
     seed: int = 100,
     bind_to_nodes: Optional[Sequence[int]] = None,
+    incr_fraction: float = 0.0,
+    remote_fraction: float = 0.0,
 ) -> Tuple[Router, List[Client]]:
     """Closed-loop clients bound round-robin to initial nodes' key ranges.
 
@@ -190,7 +192,15 @@ def start_clients(
         nid = bound_ids[i % len(bound_ids)]
         lo, hi = ranges[nid]
         if workload_kind == "ycsb":
-            workload = YcsbWorkload(cluster.gmap, key_lo=lo, key_hi=hi)
+            config = (
+                YcsbConfig(
+                    incr_fraction=incr_fraction,
+                    remote_fraction=remote_fraction,
+                )
+                if incr_fraction or remote_fraction
+                else None
+            )
+            workload = YcsbWorkload(cluster.gmap, config, key_lo=lo, key_hi=hi)
         elif workload_kind == "tpcc":
             workload = TpccWorkload(
                 cluster.gmap,

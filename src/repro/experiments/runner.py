@@ -217,6 +217,8 @@ def _act_clients_start(
         workload or spec.workload.kind,
         seed=spec.seed * factor,
         bind_to_nodes=bind_to_nodes,
+        incr_fraction=spec.workload.incr_fraction,
+        remote_fraction=spec.workload.remote_fraction,
     )
     ctx.routers[pool] = router
     ctx.pools[pool] = clients
@@ -432,6 +434,51 @@ def _evaluate_probe(probe: ProbeSpec, result) -> ProbeResult:
 # -- the runner ----------------------------------------------------------------
 
 
+def _arm_fault_points(cluster: Cluster, points: List[Dict[str, Any]]) -> None:
+    """Install one-shot FSM-edge crash hooks (``FaultSpec.fault_points``).
+
+    Each point crashes its node the first time that node journals the named
+    2PC transition at or after ``at`` sim-seconds — the kill lands at the
+    current process's next yield, i.e. exactly before/after the WAL record
+    becomes durable — then restarts it (WAL recovery included) after
+    ``rejoin_after`` seconds.
+    """
+    by_node: Dict[int, List[Dict[str, Any]]] = {}
+    for point in points:
+        by_node.setdefault(int(point["node"]), []).append(dict(point))
+
+    def make_hook(node_id: int, armed: List[Dict[str, Any]]):
+        node = cluster.nodes[node_id]
+
+        def restart(delay: float):
+            yield Timeout(delay)
+            yield from cluster.restart_node(node_id, rejoin=True)
+
+        def hook(txn_id: str, edge: str, phase: str) -> None:
+            now = cluster.sim.now
+            for point in armed:
+                if point.get("fired"):
+                    continue
+                if edge != point["edge"] or phase != point["phase"]:
+                    continue
+                if now < float(point.get("at", 0.0)):
+                    continue
+                point["fired"] = True
+                if all(p.get("fired") for p in armed):
+                    node.fault_hook = None
+                cluster.fail_node(node_id)
+                cluster.sim.spawn(
+                    restart(float(point.get("rejoin_after", 0.5))),
+                    name=f"fault-point-restart:{node_id}",
+                )
+                return
+
+        node.fault_hook = hook
+
+    for node_id, armed in by_node.items():
+        make_hook(node_id, armed)
+
+
 def run_spec(spec: ScenarioSpec) -> SpecRunResult:
     """Execute one :class:`ScenarioSpec` end to end.
 
@@ -465,6 +512,8 @@ def run_spec(spec: ScenarioSpec) -> SpecRunResult:
     schedule_proc = None
     if schedule is not None:
         schedule_proc = cluster.chaos.run_schedule(schedule)
+    if spec.faults is not None and spec.faults.fault_points:
+        _arm_fault_points(cluster, spec.faults.fault_points)
 
     cluster.run(until=spec.warmup)
     if spec.workload.kind != "none":
@@ -474,6 +523,8 @@ def run_spec(spec: ScenarioSpec) -> SpecRunResult:
             spec.workload.kind,
             seed=spec.seed * spec.workload.client_seed_factor,
             bind_to_nodes=spec.workload.bind_to_nodes,
+            incr_fraction=spec.workload.incr_fraction,
+            remote_fraction=spec.workload.remote_fraction,
         )
         ctx.routers["primary"] = router
         ctx.pools["primary"] = clients
@@ -516,5 +567,26 @@ def run_spec(spec: ScenarioSpec) -> SpecRunResult:
     if spec.check_invariants:
         live = [cluster.nodes[n] for n in cluster.live_node_ids()]
         check_view_consistency(live, cluster.gmap.num_granules)
+    fast = sum(n.stats["fast_path_commits"] for n in cluster.nodes.values())
+    two_pc = sum(n.stats["two_pc_commits"] for n in cluster.nodes.values())
+    if fast or two_pc:
+        result.extras["coordination"] = {
+            "fast_path_commits": fast,
+            "two_pc_commits": two_pc,
+            "avoided_fraction": fast / (fast + two_pc) if fast + two_pc else 0.0,
+        }
+    if cluster.recovery_reports:
+        result.extras["recovery"] = {
+            "passes": len(cluster.recovery_reports),
+            "in_doubt": sum(r.in_doubt for r in cluster.recovery_reports),
+            "begun_unvoted": sum(
+                r.begun_unvoted for r in cluster.recovery_reports
+            ),
+            "coordinator_open": sum(
+                r.coordinator_open for r in cluster.recovery_reports
+            ),
+            "committed": sum(r.committed for r in cluster.recovery_reports),
+            "aborted": sum(r.aborted for r in cluster.recovery_reports),
+        }
     result.probes = [_evaluate_probe(p, result) for p in spec.probes]
     return result

@@ -138,12 +138,22 @@ class WorkloadSpec(_SpecBase):
     #: Client RNG seed = ``ScenarioSpec.seed * client_seed_factor``, so one
     #: scenario seed drives both the cluster and the workload.
     client_seed_factor: int = 977
+    #: YCSB only: fraction of transactions that are cross-granule
+    #: global-counter increments (coordination-free fast-path candidates).
+    incr_fraction: float = 0.0
+    #: YCSB only: fraction of the remaining transactions that also write a
+    #: second random granule — plain writes, forced through full 2PC.
+    remote_fraction: float = 0.0
 
     def __post_init__(self):
         if self.kind not in ("ycsb", "tpcc", "none"):
             raise ValueError(f"unknown workload kind {self.kind!r}")
         if self.bind_to_nodes is not None:
             self.bind_to_nodes = list(self.bind_to_nodes)
+        for name in ("incr_fraction", "remote_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
 
     @property
     def num_keys(self) -> int:
@@ -178,6 +188,14 @@ class FaultSpec(_SpecBase):
     """
 
     schedule: List[Dict[str, Any]] = field(default_factory=list)
+    #: FSM-edge fault points: each entry arms a one-shot crash hook on one
+    #: node that fires the first time that node journals the named 2PC
+    #: transition after ``at`` — ``{"node": 1, "edge": "vote",
+    #: "phase": "before", "at": 3.0, "rejoin_after": 0.5}``.  Edges are the
+    #: :data:`repro.core.participant.EDGE_NAMES` vocabulary; ``phase`` is
+    #: ``"before"`` (WAL record not yet durable) or ``"after"``.  The node
+    #: is restarted (with WAL recovery) ``rejoin_after`` seconds later.
+    fault_points: List[Dict[str, Any]] = field(default_factory=list)
     failure_detection: bool = False
     detector_interval: float = 0.5
     detector_timeout: float = 0.25
@@ -190,6 +208,16 @@ class FaultSpec(_SpecBase):
 
     def __post_init__(self):
         self.schedule = _jsonify(list(self.schedule))
+        self.fault_points = _jsonify(list(self.fault_points))
+        for point in self.fault_points:
+            edge = point.get("edge")
+            if edge not in ("begin", "vote", "decide", "prepare", "end"):
+                raise ValueError(f"unknown fault-point edge {edge!r}")
+            phase = point.get("phase")
+            if phase not in ("before", "after"):
+                raise ValueError(f"unknown fault-point phase {phase!r}")
+            if "node" not in point:
+                raise ValueError(f"fault point needs a 'node': {point}")
 
     def to_schedule(self) -> Optional[FaultSchedule]:
         if not self.schedule:

@@ -341,6 +341,15 @@ class Simulator:
         self.rng = random.Random(seed)
         self._crash: Optional[ProcessCrashed] = None
         self.events_executed = 0
+        #: Strong refs to every spawned process, for the simulator's entire
+        #: lifetime.  A suspended generator that became unreachable mid-run
+        #: (e.g. its resume future died with a crashed endpoint) would
+        #: otherwise be reclaimed by the *cyclic* GC, whose collection points
+        #: depend on process-global allocation counters — and the
+        #: ``GeneratorExit`` cleanup it throws runs ``finally:`` side effects
+        #: at those nondeterministic times.  Keeping processes reachable
+        #: defers all such cleanup to simulator teardown.
+        self._spawned: list = []
 
     @property
     def now(self) -> float:
@@ -413,7 +422,9 @@ class Simulator:
             self._ready.append((token, fn, args))
 
     def spawn(self, gen: Generator, name: str = "", daemon: bool = False) -> Process:
-        return Process(self, gen, name=name, daemon=daemon)
+        proc = Process(self, gen, name=name, daemon=daemon)
+        self._spawned.append(proc)
+        return proc
 
     def event(self, name: str = "") -> Future:
         return Future(self, name=name)

@@ -155,7 +155,10 @@ class RpcEndpoint:
         #: Optional :class:`EndpointDegradation`; ``None`` on healthy nodes.
         self.degrade: Optional[EndpointDegradation] = None
         self._handlers: Dict[str, Callable] = {}
-        self._live_processes: set = set()
+        # Insertion-ordered on purpose: killing in arrival order keeps crash
+        # delivery deterministic (a set would iterate in id()-hash order,
+        # which varies with heap state across runs in one process).
+        self._live_processes: Dict[Any, None] = {}
         self.requests_served = 0
         network.endpoints[address] = self
 
@@ -277,10 +280,10 @@ class RpcEndpoint:
         proc = self.sim.spawn(
             result, name=f"{self.address}.{method}", daemon=True
         )
-        self._live_processes.add(proc)
+        self._live_processes[proc] = None
 
         def on_done(fut: Future) -> None:
-            self._live_processes.discard(proc)
+            self._live_processes.pop(proc, None)
             if self.crashed:
                 return  # crashed while handling; no response escapes
             if reply is None:

@@ -14,6 +14,19 @@ Record kinds implement the commit protocol's log vocabulary:
 * ``DECISION_COMMIT`` / ``DECISION_ABORT`` — terminal outcome for a 2PC
   transaction id; replay applies or discards the buffered ``VOTE_YES``
   updates accordingly.
+* ``TXN_BEGIN`` — a participant durably joined a distributed transaction
+  (its branch is staged).  A ``TXN_BEGIN`` with no later vote or decision
+  marks a branch that died before voting; recovery may safely claim an
+  abort for it (the coordinator cannot have committed without the vote).
+* ``PREPARE`` — the coordinator's intent record, written to its own GLog
+  before it gathers votes; carries the full participant-log list so a
+  restarted coordinator knows which transactions to re-resolve.
+* ``TXN_END`` — the coordinator finished dispatching decisions.  Purely
+  advisory: it bounds the set of transactions recovery re-examines; a
+  missing ``TXN_END`` only costs an idempotent re-resolution.
+
+``TXN_BEGIN``/``PREPARE``/``TXN_END`` carry no redo updates, so replay
+treats them as LSN-advancing no-ops.
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ from typing import Callable, List, NamedTuple, Optional, Tuple, Union
 __all__ = [
     "AppendResult",
     "Delete",
+    "Increment",
     "LogRecord",
     "Put",
     "RecordKind",
@@ -49,7 +63,22 @@ class Delete:
     key: object
 
 
-Entry = Union[Put, Delete]
+@dataclass(frozen=True)
+class Increment:
+    """Add ``delta`` to the numeric counter at ``table[key]``.
+
+    A blind commutative update: increments merge regardless of order, which
+    is what makes transactions composed solely of them invariant-confluent
+    (Bailis et al.) and eligible for the coordination-free fast path.  A
+    non-numeric existing value is treated as 0 (counter-column semantics).
+    """
+
+    table: str
+    key: object
+    delta: int = 1
+
+
+Entry = Union[Put, Delete, Increment]
 
 
 class RecordKind(enum.Enum):
@@ -57,6 +86,9 @@ class RecordKind(enum.Enum):
     VOTE_YES = "vote-yes"
     DECISION_COMMIT = "decision-commit"
     DECISION_ABORT = "decision-abort"
+    TXN_BEGIN = "txn-begin"
+    PREPARE = "prepare"
+    TXN_END = "txn-end"
 
 
 @dataclass(frozen=True)

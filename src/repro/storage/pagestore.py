@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
-from repro.storage.log import Delete, LogRecord, Put, RecordKind
+from repro.storage.log import Delete, Increment, LogRecord, Put, RecordKind
 
 __all__ = ["PageStore"]
 
@@ -58,6 +58,11 @@ class PageStore:
                 self._tables[entry.table][entry.key] = entry.value
             elif isinstance(entry, Delete):
                 self._tables[entry.table].pop(entry.key, None)
+            elif isinstance(entry, Increment):
+                current = self._tables[entry.table].get(entry.key, 0)
+                if not isinstance(current, (int, float)):
+                    current = 0  # counter-column semantics over stale blobs
+                self._tables[entry.table][entry.key] = current + entry.delta
             else:
                 raise TypeError(f"unknown log entry {entry!r}")
 

@@ -28,6 +28,16 @@ class YcsbConfig:
     read_fraction: float = 0.5
     distribution: str = "uniform"  # "uniform" | "zipfian"
     zipf_theta: float = 0.99
+    #: Fraction of transactions that are global-counter increments: blind
+    #: commutative writes drawn from the *full* keyspace (cross-granule,
+    #: cross-node by construction), eligible for the coordination-free
+    #: fast path instead of 2PC.
+    incr_fraction: float = 0.0
+    #: Fraction of (non-increment) transactions that also write a second,
+    #: globally-random granule — ordinary read/write ops, so they *must*
+    #: take the full 2PC path.  Off by default: the paper's YCSB is
+    #: single-site.
+    remote_fraction: float = 0.0
 
 
 class YcsbWorkload:
@@ -56,6 +66,8 @@ class YcsbWorkload:
 
     def next_txn(self, rng: random.Random) -> TxnSpec:
         """One single-site transaction: 16 ops inside one random granule."""
+        if self.config.incr_fraction and rng.random() < self.config.incr_fraction:
+            return self._incr_txn(rng)
         home_key = self.key_lo + self._picker.sample(rng)
         granule = self.gmap.granule(self.gmap.granule_of(home_key))
         ops = []
@@ -65,4 +77,29 @@ class YcsbWorkload:
             ops.append(TxnOp(write=write, table=TABLE, key=key))
         # The home key leads so routing targets the right granule.
         ops[0] = TxnOp(write=ops[0].write, table=TABLE, key=home_key)
+        if self.config.remote_fraction and rng.random() < self.config.remote_fraction:
+            # Redirect the tail of the transaction at a second, globally
+            # random granule: plain writes, so the commit needs 2PC.
+            other = self.gmap.granule(
+                self.gmap.granule_of(rng.randrange(self.gmap.num_keys))
+            )
+            spill = max(1, len(ops) // 4)
+            for i in range(len(ops) - spill, len(ops)):
+                ops[i] = TxnOp(
+                    write=True,
+                    table=TABLE,
+                    key=rng.randrange(other.lo, other.hi),
+                )
+        return TxnSpec(ops=tuple(ops))
+
+    def _incr_txn(self, rng: random.Random) -> TxnSpec:
+        """A global-counter transaction: blind increments across the whole
+        keyspace (deliberately *not* restricted to this client's range), so
+        its ops routinely span granules owned by different nodes.  The home
+        key stays in-range for correct routing; the rest are global."""
+        home_key = self.key_lo + self._picker.sample(rng)
+        ops = [TxnOp(write=True, table=TABLE, key=home_key, incr=True)]
+        for _ in range(self.config.requests_per_txn - 1):
+            key = rng.randrange(self.gmap.num_keys)
+            ops.append(TxnOp(write=True, table=TABLE, key=key, incr=True))
         return TxnSpec(ops=tuple(ops))

@@ -16,6 +16,7 @@ from repro.chaos import rolling_partition
 from repro.engine.node import NodeParams
 from repro.experiments.family import run_family
 from repro.experiments import fig14, fig15
+from repro.experiments.goldens import SPEC_PARITY_GOLDENS
 from repro.experiments.harness import start_clients
 from repro.experiments.runner import run_spec
 from repro.experiments.spec import (
@@ -191,26 +192,7 @@ class TestRunnerParity:
     """Spec-backed runs must be bit-identical to the pre-redesign harness."""
 
     def test_family_parity(self):
-        golden = {
-            "marlin": {
-                "committed": 1181,
-                "aborted": 43,
-                "migrations": 496,
-                "first_migration": 5.188551717776636,
-                "last_migration": 6.31742434160371,
-                "duration": 11.317679864969179,
-                "lat_mean": 0.09433671714053211,
-            },
-            "zk-small": {
-                "committed": 1382,
-                "aborted": 193,
-                "migrations": 496,
-                "first_migration": 5.58971083619202,
-                "last_migration": 8.460725223191481,
-                "duration": 13.460990412481333,
-                "lat_mean": 0.09625897330593002,
-            },
-        }
+        golden = SPEC_PARITY_GOLDENS["family"]
         results = run_family(
             scale=0.08, systems=tuple(golden), seed=SEED, clients=10
         )
@@ -227,28 +209,32 @@ class TestRunnerParity:
             )
 
     def test_fig14_dynamic_parity(self):
+        golden = SPEC_PARITY_GOLDENS["fig14"]
         result = fig14.run_dynamic("marlin", scale=0.12, seed=SEED)
         m = result.metrics
-        assert result.duration == 65.0
-        assert m.total_committed == 5941
-        assert m.total_aborted == 597
-        assert m.total_migrations == 1496
-        assert m.first_migration == 10.288705384804414
-        assert m.last_migration == 41.868540248162255
+        assert result.duration == golden["duration"]
+        assert m.total_committed == golden["committed"]
+        assert m.total_aborted == golden["aborted"]
+        assert m.total_migrations == golden["migrations"]
+        assert m.first_migration == golden["first_migration"]
+        assert m.last_migration == golden["last_migration"]
         assert len(result.scale_summaries) == 2
 
     def test_fig15_stress_parity(self):
+        golden = SPEC_PARITY_GOLDENS["fig15"]
         cell = fig15.run_stress("marlin", 16, interval=1.5, duration=8.0, seed=SEED)
-        assert cell["offered_tps"] == pytest.approx(21.333333333333332, rel=1e-12)
-        assert cell["achieved_tps"] == 20.125
-        assert cell["efficiency"] == 0.943359375
+        assert cell["offered_tps"] == pytest.approx(
+            golden["offered_tps"], rel=1e-12
+        )
+        assert cell["achieved_tps"] == golden["achieved_tps"]
+        assert cell["efficiency"] == golden["efficiency"]
         assert cell["mean_latency_s"] == pytest.approx(
-            0.040174319313766006, rel=1e-12
+            golden["mean_latency_s"], rel=1e-12
         )
         assert cell["p99_latency_s"] == pytest.approx(
-            0.2247758592837733, rel=1e-12
+            golden["p99_latency_s"], rel=1e-12
         )
-        assert cell["retries"] == 103
+        assert cell["retries"] == golden["retries"]
 
 
 class TestProbes:

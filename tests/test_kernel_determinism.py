@@ -12,20 +12,17 @@ Re-captured for PR 2 after fixing the ``run(until)`` deadline overshoot
 reporting their times): the re-captured values are identical to the
 pre-fast-path goldens — this run never hits the overshoot window — so the
 constants below are unchanged and now also pin the fixed-deadline kernel.
+
+The golden values now live in :mod:`repro.experiments.goldens`, where they
+(together with the spec-parity goldens) derive the sweep result cache's
+``CACHE_EPOCH`` — re-capturing them after a behaviour change automatically
+invalidates stale cached sweep cells.
 """
 
 import pytest
 
+from repro.experiments.goldens import DETERMINISM_GOLDEN as GOLDEN
 from repro.experiments.harness import run_scale_out_scenario
-
-#: Captured on the pre-refactor heap-only kernel; must never drift.
-GOLDEN = {
-    "events_executed": 14759,
-    "total_committed": 264,
-    "total_aborted": 77,
-    "total_migrations": 32,
-    "final_now": 3.5618053808681074,
-}
 
 
 def _small_fig9_run():

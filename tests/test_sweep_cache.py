@@ -61,7 +61,7 @@ class TestKeys:
         spec = small_base()
         assert (
             ResultCache(tmp_path, epoch=CACHE_EPOCH).key(spec)
-            != ResultCache(tmp_path, epoch=CACHE_EPOCH + 1).key(spec)
+            != ResultCache(tmp_path, epoch=CACHE_EPOCH + "-bumped").key(spec)
         )
 
     def test_resolve_cache(self, tmp_path):
@@ -123,7 +123,7 @@ class TestSerialCache:
     def test_epoch_bump_invalidates_everything(self, tmp_path):
         sweep = seed_sweep()
         sweep.run(cache=ResultCache(tmp_path))
-        bumped = ResultCache(tmp_path, epoch=CACHE_EPOCH + 1)
+        bumped = ResultCache(tmp_path, epoch=CACHE_EPOCH + "-bumped")
         sweep.run(cache=bumped)
         assert bumped.stats() == {"hits": 0, "misses": 2, "stores": 2}
 
