@@ -25,7 +25,9 @@ from repro.sim.core import Simulator, Timeout, all_of
 from repro.sim.network import LatencyModel, Network
 from repro.sim.rpc import RpcEndpoint
 
-__all__ = ["ALL_BENCHES", "run_bench", "run_kernel_suite"]
+__all__ = [
+    "ALL_BENCHES", "bench_tracer_overhead", "run_bench", "run_kernel_suite",
+]
 
 #: Default event counts per bench (full mode / quick mode).
 SIZES = {
@@ -186,6 +188,57 @@ def bench_metrics_record(n: int) -> Dict[str, float]:
             "bytes_per_op": bytes_per_op}
 
 
+def bench_tracer_overhead(n: int) -> Dict[str, float]:
+    """RPC ping-pong with tracing off vs. on: what span recording costs.
+
+    The *off* leg pays only the ``if tracer is not None`` guards — the
+    always-on cost every run carries, which the ``rpc_roundtrip`` bench
+    (and its ``--assert-floor`` gate against the committed baselines)
+    keeps honest.  The *on* leg records two spans plus a counter bump per
+    call.  Both legs execute the same seeded schedule; ``schedule_drift``
+    must stay 0 — tracing is purely observational, never perturbing the
+    event stream.
+
+    Reported separately from ``ALL_BENCHES``: there is no baseline entry
+    for it in older ``BENCH_PR*.json`` reports, and its headline number is
+    a ratio (overhead fraction), not a rate.
+    """
+    from repro.obs import Tracer
+
+    def leg(traced: bool):
+        sim = Simulator(seed=5)
+        network = Network(sim, LatencyModel(jitter_frac=0.0))
+        tracer = Tracer(sim) if traced else None
+        if tracer is not None:
+            network.tracer = tracer
+        server = RpcEndpoint(sim, network, "server", "us-west")
+        client = RpcEndpoint(sim, network, "client", "us-west")
+        server.register("ping", lambda x: x + 1)
+
+        def driver():
+            total = 0
+            for i in range(n):
+                total += yield client.call("server", "ping", i, timeout=1.0)
+            return total
+
+        sim.spawn(driver(), name="rpc-driver")
+        t0 = time.perf_counter()
+        sim.run()
+        return sim.events_executed, time.perf_counter() - t0, tracer
+
+    events_off, off_s, _ = leg(False)
+    events_on, on_s, tracer = leg(True)
+    spans = sum(1 for ev in tracer.events if ev[0] == "B")
+    return {
+        "calls": n,
+        "off_calls_per_sec": n / off_s,
+        "on_calls_per_sec": n / on_s,
+        "overhead_frac": on_s / off_s - 1.0,
+        "spans_recorded": spans,
+        "schedule_drift": abs(events_on - events_off),
+    }
+
+
 ALL_BENCHES: Dict[str, Callable[[int], Dict[str, float]]] = {
     "raw_events": bench_raw_events,
     "timer_events": bench_timer_events,
@@ -240,6 +293,12 @@ def test_bench_rpc_roundtrip(benchmark):
 def test_bench_metrics_record(benchmark):
     result = benchmark(bench_metrics_record, 50_000)
     assert result["ops"] > 0
+
+
+def test_bench_tracer_overhead(benchmark):
+    result = benchmark(bench_tracer_overhead, 200)
+    assert result["spans_recorded"] == 2 * 200  # call + serve per ping
+    assert result["schedule_drift"] == 0
 
 
 def main(argv=None) -> Dict[str, Dict[str, float]]:

@@ -40,7 +40,11 @@ if __package__ in (None, ""):  # running as a script: make repro importable
     sys.path.insert(0, str(REPO_ROOT / "src"))
     sys.path.insert(0, str(REPO_ROOT))
 
-from benchmarks.bench_kernel import ALL_BENCHES, run_bench  # noqa: E402
+from benchmarks.bench_kernel import (  # noqa: E402
+    ALL_BENCHES,
+    bench_tracer_overhead,
+    run_bench,
+)
 
 #: The headline throughput metric per bench (used for speedup computation).
 RATE_METRIC = {
@@ -52,6 +56,12 @@ RATE_METRIC = {
     "metrics_record": "ops_per_sec",
 }
 
+
+#: RPC round trips for the tracer on/off comparison (full / quick).  Its own
+#: report section (not ``RATE_METRIC``): the headline is an overhead *ratio*
+#: with no baseline entry in pre-tracing ``BENCH_PR*.json`` reports, so it
+#: must not feed the ``--assert-floor`` gate.
+TRACER_CALLS = (20_000, 2_000)
 
 #: Workers for the parallel leg; 4 matches the acceptance grid ("a 4-worker
 #: run on a 4-core machine") — on fewer cores the measured speedup degrades
@@ -175,6 +185,17 @@ def main(argv=None) -> dict:
         },
         "results": results,
     }
+    report["tracer"] = tracer = bench_tracer_overhead(
+        TRACER_CALLS[1] if args.quick else TRACER_CALLS[0]
+    )
+    print(
+        f"{'tracer_overhead':16s} calls={tracer['calls']:,} "
+        f"off={tracer['off_calls_per_sec']:,.0f}/s "
+        f"on={tracer['on_calls_per_sec']:,.0f}/s "
+        f"(overhead={tracer['overhead_frac']:+.1%}, "
+        f"schedule_drift={tracer['schedule_drift']:.0f})",
+        flush=True,
+    )
     if not args.skip_sweep:
         report["sweep"] = sweep = run_sweep_bench(args.quick)
         print(

@@ -87,6 +87,13 @@ class ChaosController:
 
     def _record(self, phase: str, event: FaultEvent) -> None:
         self.fault_log.append((self.sim.now, phase, event))
+        tracer = getattr(self.cluster, "tracer", None)
+        if tracer is not None:
+            tracer.count("chaos." + phase)
+            tracer.instant(
+                "chaos", "chaos:" + phase,
+                args={"event": type(event).__name__},
+            )
 
     # -- injection / clearing ------------------------------------------------
 
@@ -322,11 +329,14 @@ class ChaosController:
         node's view overlaps another's or the replayed ground truth has an
         orphaned / double-owned granule.
         """
+        from repro.obs.forensics import forensics
+
         cluster = self.cluster
-        live = [cluster.nodes[n] for n in cluster.live_node_ids()]
-        check_view_consistency(live, cluster.gmap.num_granules)
-        check_invariants(
-            cluster.ground_truth_gtable(),
-            cluster.gmap.num_granules,
-            cluster.ground_truth_mtable(),
-        )
+        with forensics(cluster):
+            live = [cluster.nodes[n] for n in cluster.live_node_ids()]
+            check_view_consistency(live, cluster.gmap.num_granules)
+            check_invariants(
+                cluster.ground_truth_gtable(),
+                cluster.gmap.num_granules,
+                cluster.ground_truth_mtable(),
+            )

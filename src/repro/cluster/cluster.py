@@ -87,6 +87,11 @@ class Cluster:
         self.admin = RpcEndpoint(self.sim, self.network, "admin", config.home_region)
         self.nodes: Dict[int, ComputeNode] = {}
         self.detectors: Dict[int, RingFailureDetector] = {}
+        #: Every detector ever started (fail_node pops ``detectors``; the
+        #: always-on pipeline counters must survive that for aggregation).
+        self._all_detectors: List[RingFailureDetector] = []
+        #: Optional :class:`repro.obs.Tracer`; install via ``attach_tracer``.
+        self.tracer = None
         self._chaos = None
         self._next_node_id = 0
         self._last_assignment: Dict[int, int] = {}
@@ -135,6 +140,8 @@ class Cluster:
         runtime.attach(node)
         node.runtime = runtime
         node.metrics = self.metrics
+        if self.tracer is not None:
+            self._trace_node(node)
         self.nodes[node_id] = node
         return node
 
@@ -200,6 +207,46 @@ class Cluster:
         )
         detector.start()
         self.detectors[node_id] = detector
+        self._all_detectors.append(detector)
+
+    # -- observability ---------------------------------------------------------------
+
+    def _trace_node(self, node: ComputeNode) -> None:
+        node.tracer = self.tracer
+        node.locks.tracer = self.tracer
+        node.locks.track = node.address
+
+    def attach_tracer(self, tracer) -> None:
+        """Install a :class:`repro.obs.Tracer` on every injection point.
+
+        Covers the network (RPC spans), every current node (txn / WAL /
+        lock / migration spans); nodes added later by ``scale_out`` pick
+        the tracer up in ``_make_node``.
+        """
+        self.tracer = tracer
+        self.network.tracer = tracer
+        for node in self.nodes.values():
+            self._trace_node(node)
+
+    def failure_detection_stats(self) -> Dict[str, int]:
+        """Aggregate the always-on detector pipeline counters.
+
+        Sums over every detector ever started (including ones since popped
+        by ``fail_node`` / ``scale_in``): suspicions raised, vote-gate
+        stand-downs (rejections), failovers started and fencings committed.
+        """
+        stats = {
+            "suspicions_raised": 0,
+            "stand_downs": 0,
+            "failovers_started": 0,
+            "fencings_committed": 0,
+        }
+        for detector in self._all_detectors:
+            stats["suspicions_raised"] += detector.suspicions_raised
+            stats["stand_downs"] += detector.stand_downs
+            stats["failovers_started"] += detector.failovers_started
+            stats["fencings_committed"] += detector.fencings_committed
+        return stats
 
     # -- introspection ---------------------------------------------------------------
 

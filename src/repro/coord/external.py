@@ -267,7 +267,10 @@ class ExternalRuntime(CoordinationRuntime):
         """Ownership transfer: the same node-side work as Marlin, plus the
         authoritative update in the external service on the critical path."""
         node = self.node
-        ctx = TxnContext(node.node_id, is_reconfig=True, name="MigrationTxn")
+        ctx = TxnContext(
+            node.node_id, is_reconfig=True, name="MigrationTxn",
+            seq=node.next_txn_seq(),
+        )
         node.txns[ctx.txn_id] = ctx
         try:
             yield node.locks.acquire_async(
@@ -334,7 +337,10 @@ class ExternalRuntime(CoordinationRuntime):
         if owner != node.node_id:
             node.locks.release_all(txn_id)
             return owner
-        ctx = TxnContext(node.node_id, is_reconfig=True, name="MigrationTxn-src")
+        ctx = TxnContext(
+            node.node_id, is_reconfig=True, name="MigrationTxn-src",
+            seq=node.next_txn_seq(),
+        )
         ctx.txn_id = txn_id
         ctx.write(node.glog, GTABLE, granule, dst_id)
         node.txns[txn_id] = ctx

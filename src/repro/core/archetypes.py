@@ -99,7 +99,10 @@ class SingleWriterCoordinator:
         for _attempt in range(self.MAX_ATTEMPTS):
             if not self.is_primary():
                 return False
-            ctx = TxnContext(node.node_id, is_reconfig=True, name="DemoteTxn")
+            ctx = TxnContext(
+                node.node_id, is_reconfig=True, name="DemoteTxn",
+                seq=node.next_txn_seq(),
+            )
             ctx.delete(SYSLOG, MTABLE, PRIMARY_KEY)
             if (yield from self._commit(ctx)):
                 return True
@@ -107,7 +110,10 @@ class SingleWriterCoordinator:
 
     def _swap_primary(self) -> Generator:
         node = self.node
-        ctx = TxnContext(node.node_id, is_reconfig=True, name="PromoteTxn")
+        ctx = TxnContext(
+            node.node_id, is_reconfig=True, name="PromoteTxn",
+            seq=node.next_txn_seq(),
+        )
         ctx.write(SYSLOG, MTABLE, PRIMARY_KEY, node.node_id)
         committed = yield from self._commit(ctx)
         if committed:

@@ -119,6 +119,21 @@ def marlin_commit(
 
     log_names = tuple(sorted(participant_log(node, p) for p in participants))
 
+    # Coordinator-side spans: "2pc.prepare" covers intent journaling through
+    # vote gathering, "2pc.decision" the decision fan-out — the two phases
+    # the fig7/fig16 span-summary columns report time in.
+    tracer = node.tracer
+    root = prep_sid = 0
+    if tracer is not None:
+        root = tracer.begin(
+            node.address, "2pc", parent=getattr(ctx, "span", 0),
+            args={"txn": ctx.txn_id, "participants": len(participants)},
+        )
+        prep_sid = tracer.begin(
+            node.address, "2pc.prepare", parent=root,
+            args={"txn": ctx.txn_id},
+        )
+
     # Coordinator intent record: journal PREPARE with the participant-log
     # list to our own GLog *before* gathering votes, so a restarted
     # coordinator knows exactly which transactions to re-resolve.
@@ -132,6 +147,10 @@ def marlin_commit(
         participants=log_names,
     )
     if not prep.ok:
+        if prep_sid:
+            tracer.end(prep_sid, {"ok": 0})
+        if root:
+            tracer.end(root, {"committed": 0})
         yield from node.runtime.handle_cas_failure(node.glog)
         return False
     fault_point(node, ctx.txn_id, "prepare", "after")
@@ -167,6 +186,15 @@ def marlin_commit(
     votes = yield gather_votes(node.sim, vote_futs)
     committed = all(votes)
 
+    dec_sid = 0
+    if prep_sid:
+        tracer.end(prep_sid, {"yes_votes": sum(votes), "of": len(votes)})
+    if root:
+        dec_sid = tracer.begin(
+            node.address, "2pc.decision", parent=root,
+            args={"txn": ctx.txn_id, "commit": int(committed)},
+        )
+
     fault_point(node, ctx.txn_id, "decide", "before")
     for p, voted_yes in zip(participants, votes):
         if isinstance(p, NodeParticipant) and p.node_id == node.node_id:
@@ -197,6 +225,10 @@ def marlin_commit(
         _journal_txn_end(node, ctx.txn_id), name=f"txn-end:{ctx.txn_id}"
     )
     fault_point(node, ctx.txn_id, "end", "after")
+    if dec_sid:
+        tracer.end(dec_sid)
+    if root:
+        tracer.end(root, {"committed": int(committed)})
     return committed
 
 
@@ -286,6 +318,13 @@ def terminate_in_doubt(
         poll = node.params.term_poll
     if max_polls is None:
         max_polls = node.params.term_max_polls
+    tracer = node.tracer
+    sid = 0
+    if tracer is not None:
+        sid = tracer.begin(
+            node.address, "terminate_in_doubt",
+            args={"txn": txn_id, "logs": len(participant_logs)},
+        )
     yield Timeout(grace)
     polls = 0
     while True:
@@ -297,13 +336,19 @@ def terminate_in_doubt(
             outcomes.append(outcome)
         if any(o[0] is False for o in outcomes):
             _finalize(node, txn_id, participant_logs, outcomes, False)
+            if sid:
+                tracer.end(sid, {"outcome": "aborted"})
             return False
         if any(o[0] is True for o in outcomes):
             _finalize(node, txn_id, participant_logs, outcomes, True)
+            if sid:
+                tracer.end(sid, {"outcome": "committed"})
             return True
         if all(voted for _outcome, voted in outcomes):
             # All voted yes: committed by the Cornus rule; make it durable.
             _finalize(node, txn_id, participant_logs, outcomes, True)
+            if sid:
+                tracer.end(sid, {"outcome": "committed"})
             return True
         polls += 1
         if polls < max_polls:
@@ -339,6 +384,8 @@ def terminate_in_doubt(
                 claimed_all = False
         if claimed_all:
             _finalize(node, txn_id, participant_logs, outcomes, False)
+            if sid:
+                tracer.end(sid, {"outcome": "claimed_abort"})
             return False
         # Raced with another resolver (or the vote itself); back off with
         # seeded jitter so lockstep resolvers don't re-collide every round,

@@ -100,6 +100,11 @@ class RingFailureDetector:
         self._handling: Set[int] = set()
         self.failovers_started = 0
         self.stand_downs = 0
+        #: Always-on pipeline counters (aggregated per coordination mode by
+        #: the experiment runner): suspicions = miss-threshold crossings,
+        #: fencings = failovers that actually removed the target from MTable.
+        self.suspicions_raised = 0
+        self.fencings_committed = 0
         self._proc = None
 
     def start(self) -> None:
@@ -144,6 +149,14 @@ class RingFailureDetector:
                     if misses >= self.miss_threshold:
                         self._handling.add(target)
                         self.failovers_started += 1
+                        self.suspicions_raised += 1
+                        tracer = node.tracer
+                        if tracer is not None:
+                            tracer.count("detector.suspicions")
+                            tracer.instant(
+                                node.address, "detector:suspect",
+                                args={"target": target, "misses": misses},
+                            )
                         node.spawn(
                             self._run_failover(target),
                             name=f"failover-{node.node_id}-of-{target}",
@@ -151,11 +164,21 @@ class RingFailureDetector:
 
     def _run_failover(self, dead_id: int, max_attempts: int = 8):
         node = self.runtime.node
+        tracer = node.tracer
+        sid = 0
+        if tracer is not None:
+            sid = tracer.begin(
+                node.address, "failover", args={"target": dead_id}
+            )
         try:
             if self.vote_gate:
                 proceed = yield from self._vote_gate_check(dead_id)
                 if not proceed:
                     self.stand_downs += 1
+                    if tracer is not None:
+                        tracer.count("detector.stand_downs")
+                        tracer.end(sid, {"outcome": "stand_down"})
+                        sid = 0
                     return
             # RecoveryMigrTxn can lose lock races against in-flight
             # migrations that involve the dead node; retry with jittered
@@ -165,6 +188,13 @@ class RingFailureDetector:
             for attempt in range(max_attempts):
                 try:
                     yield from run_failover(self.runtime, dead_id)
+                    self.fencings_committed += 1
+                    if tracer is not None:
+                        tracer.count("detector.fencings")
+                        tracer.instant(
+                            node.address, "detector:fence",
+                            args={"target": dead_id},
+                        )
                     break
                 except TxnAborted:
                     # Either another recoverer won outright (harmless), or a
@@ -173,15 +203,23 @@ class RingFailureDetector:
                         attempt + 1 >= max_attempts
                         or dead_id not in node.member_ids()
                     ):
+                        if sid:
+                            tracer.end(sid, {"outcome": "lost_race"})
+                            sid = 0
                         return
                     yield Timeout((0.25 + node.sim.rng.random()) * self.interval)
             if self.vote_gate:
                 from repro.core.suspicion import clear_votes
 
                 yield from clear_votes(self.runtime, dead_id)
+            if sid:
+                tracer.end(sid, {"outcome": "fenced"})
+                sid = 0
         finally:
             self._handling.discard(dead_id)
             self._misses.pop(dead_id, None)
+            if sid:
+                tracer.end(sid, {"outcome": "interrupted"})
 
     def _vote_gate_check(self, dead_id: int):
         """Commit a suspicion vote; stand down if the cluster suspects *us*.

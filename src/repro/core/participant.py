@@ -116,7 +116,16 @@ def fault_point(node, txn_id: str, edge: str, phase: str) -> None:
     ``"after"`` (it is).  A hook typically calls ``cluster.fail_node`` —
     the killing throw is delivered at the current process's next yield, so
     the crash lands exactly in the intended protocol window.
+
+    When tracing is on, every edge is also recorded as an instant event on
+    the node's track *before* the hook runs, so a kill at this exact point
+    still leaves the killing edge in the flight recorder.
     """
+    tracer = node.tracer
+    if tracer is not None:
+        tracer.instant(
+            node.address, "edge:" + edge, args={"txn": txn_id, "phase": phase}
+        )
     hook = getattr(node, "fault_hook", None)
     if hook is not None:
         hook(txn_id, edge, phase)

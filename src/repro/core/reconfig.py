@@ -53,7 +53,10 @@ def add_node_txn(runtime: "MarlinRuntime") -> Generator:
     yield from runtime.ensure_view(SYSLOG)
     if node.node_id in node.mtable:
         raise NodeAlreadyExistsError(node.node_id)
-    ctx = TxnContext(node.node_id, is_reconfig=True, name="AddNodeTxn")
+    ctx = TxnContext(
+        node.node_id, is_reconfig=True, name="AddNodeTxn",
+        seq=node.next_txn_seq(),
+    )
     ctx.write(SYSLOG, MTABLE, node.node_id, node.address)
     committed = yield from marlin_commit(
         node, ctx, [LogParticipant(SYSLOG, ctx.entries_for(SYSLOG))]
@@ -71,7 +74,10 @@ def delete_node_txn(runtime: "MarlinRuntime", node_id: int) -> Generator:
     yield from runtime.ensure_view(SYSLOG)
     if node_id not in node.mtable:
         raise NodeNotExistError(node_id)
-    ctx = TxnContext(node.node_id, is_reconfig=True, name="DeleteNodeTxn")
+    ctx = TxnContext(
+        node.node_id, is_reconfig=True, name="DeleteNodeTxn",
+        seq=node.next_txn_seq(),
+    )
     ctx.delete(SYSLOG, MTABLE, node_id)
     committed = yield from marlin_commit(
         node, ctx, [LogParticipant(SYSLOG, ctx.entries_for(SYSLOG))]
@@ -94,7 +100,10 @@ def migration_txn(
     """
     node = runtime.node
     dst_id = node.node_id
-    ctx = TxnContext(dst_id, is_reconfig=True, name="MigrationTxn")
+    ctx = TxnContext(
+        dst_id, is_reconfig=True, name="MigrationTxn",
+        seq=node.next_txn_seq(),
+    )
     node.txns[ctx.txn_id] = ctx
     try:
         # Reconfiguration transactions wait for locks (bounded), §4.4.1.
@@ -165,7 +174,10 @@ def recovery_migr_txn(
     take: List[int] = [g for g in granules if snapshot.get(g) == src_id]
     if not take:
         return (True, [])
-    ctx = TxnContext(node.node_id, is_reconfig=True, name="RecoveryMigrTxn")
+    ctx = TxnContext(
+        node.node_id, is_reconfig=True, name="RecoveryMigrTxn",
+        seq=node.next_txn_seq(),
+    )
     node.txns[ctx.txn_id] = ctx
     try:
         for granule in take:

@@ -127,9 +127,17 @@ def recover_node(node: "ComputeNode") -> Generator:
     parallel through the Cornus termination protocol.  Idempotent: decisions
     are log-once, so racing with other resolvers is harmless.
     """
+    tracer = node.tracer
+    sid = 0
+    if tracer is not None:
+        sid = tracer.begin(node.address, "recovery", args={"log": node.glog})
     records = yield node.storage_call("read_log", node.glog, 0, log=node.glog)
     node.lsn_tracker[node.glog] = records[-1].lsn if records else 0
     plan = analyze(records, node.glog)
+    if tracer is not None:
+        tracer.count("recovery.in_doubt", len(plan.in_doubt))
+        tracer.count("recovery.begun_unvoted", len(plan.begun_unvoted))
+        tracer.count("recovery.coordinator_open", len(plan.coordinator_open))
     report = RecoveryReport(
         node_id=node.node_id,
         log_name=node.glog,
@@ -170,10 +178,19 @@ def recover_node(node: "ComputeNode") -> Generator:
             report.unresolved += 1
             continue
         fsm.to(TxnState.COMMITTED if outcome else TxnState.ABORTED)
+        if tracer is not None:
+            tracer.instant(
+                node.address, "recovery.resolve",
+                args={"txn": txn, "outcome": "commit" if outcome else "abort"},
+            )
         if outcome:
             report.committed += 1
         else:
             report.aborted += 1
+    if sid:
+        tracer.end(sid, {
+            "resolved": report.resolved, "unresolved": report.unresolved,
+        })
     return report
 
 

@@ -225,7 +225,10 @@ class MarlinRuntime(CoordinationRuntime):
         if owner != node.node_id:  # lost ownership while waiting
             node.locks.release_all(txn_id)
             return owner
-        ctx = TxnContext(node.node_id, is_reconfig=True, name="MigrationTxn-src")
+        ctx = TxnContext(
+            node.node_id, is_reconfig=True, name="MigrationTxn-src",
+            seq=node.next_txn_seq(),
+        )
         ctx.txn_id = txn_id
         ctx.write(node.glog, GTABLE, granule, dst_id)
         node.txns[txn_id] = ctx

@@ -69,7 +69,10 @@ def cast_vote(runtime, target: int, suspicious: bool) -> Generator:
     committed.
     """
     node = runtime.node
-    ctx = TxnContext(node.node_id, is_reconfig=True, name="SuspectVoteTxn")
+    ctx = TxnContext(
+        node.node_id, is_reconfig=True, name="SuspectVoteTxn",
+        seq=node.next_txn_seq(),
+    )
     key = suspect_key(target, node.node_id)
     if suspicious:
         ctx.write(SYSLOG, MTABLE, key, node.sim.now)
@@ -128,7 +131,10 @@ def clear_votes(runtime, target: int) -> Generator:
     ]
     if not stale:
         return
-    ctx = TxnContext(node.node_id, is_reconfig=True, name="ClearVotesTxn")
+    ctx = TxnContext(
+        node.node_id, is_reconfig=True, name="ClearVotesTxn",
+        seq=node.next_txn_seq(),
+    )
     for key in stale:
         ctx.delete(SYSLOG, MTABLE, key)
     try:

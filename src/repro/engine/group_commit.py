@@ -85,6 +85,13 @@ class GroupCommitter:
     def _flush(self, batch):
         node = self.node
         gate = node.log_gate(self.log_name)
+        tracer = node.tracer
+        sid = 0
+        if tracer is not None:
+            sid = tracer.begin(
+                node.address, "gc_flush",
+                args={"log": self.log_name, "batch": len(batch)},
+            )
         yield gate.acquire()
         try:
             expected = node.lsn_tracker.get(self.log_name) if self.conditional else None
@@ -96,10 +103,17 @@ class GroupCommitter:
             self.batches_flushed += 1
             if result.ok:
                 self.records_flushed += len(batch)
+                if tracer is not None:
+                    tracer.count("wal.appends", len(batch))
             else:
                 self.cas_failures += 1
+            if sid:
+                tracer.end(sid, {"ok": int(result.ok)})
+                sid = 0
             for _txn, _kind, _entries, fut in batch:
                 if not fut.done:
                     fut.resolve(result)
         finally:
             gate.release()
+            if sid:
+                tracer.end(sid)

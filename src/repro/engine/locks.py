@@ -51,6 +51,13 @@ class LockTable:
         self.conflicts = 0
         self.acquisitions = 0
         self.waits = 0
+        #: Optional :class:`repro.obs.Tracer` + track name (the owning
+        #: node's address), attached by the cluster alongside ``node.tracer``.
+        self.tracer = None
+        self.track = ""
+        #: Open lock-wait spans keyed by waiter future (traced runs only;
+        #: stays empty — one falsy check — when tracing is off).
+        self._wait_spans: Dict[object, int] = {}
 
     def acquire(self, txn_id: str, key: object, exclusive: bool) -> None:
         """Grant the lock or raise :class:`LockConflict` (NO_WAIT)."""
@@ -111,6 +118,15 @@ class LockTable:
         entry = (txn_id, exclusive, fut)
         lock.waiters.append(entry)
         self.waits += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.count("lock.waits")
+            wsid = tracer.begin(
+                self.track, "lock_wait",
+                args={"txn": txn_id, "key": str(key)},
+            )
+            if wsid:
+                self._wait_spans[fut] = wsid
         if timeout is not None:
             def expire():
                 if not fut.done:
@@ -119,6 +135,10 @@ class LockTable:
                     except ValueError:
                         pass
                     self.conflicts += 1
+                    if self._wait_spans:
+                        wsid = self._wait_spans.pop(fut, None)
+                        if wsid:
+                            self.tracer.end(wsid, {"outcome": "timeout"})
                     fut.fail(LockConflict(key, lock.holders))
             # Handle-free timer; ``expire`` no-ops if the wait already ended.
             self.sim.timer(timeout, expire)
@@ -140,6 +160,10 @@ class LockTable:
                 break
             lock.waiters.popleft()
             self._grant(lock, txn_id, key, exclusive)
+            if self._wait_spans:
+                wsid = self._wait_spans.pop(fut, None)
+                if wsid:
+                    self.tracer.end(wsid, {"outcome": "granted"})
             fut.resolve()
             if exclusive:
                 break
@@ -185,6 +209,11 @@ class LockTable:
         for key, lock in list(self._locks.items()):
             for txn_id, _exclusive, fut in lock.waiters:
                 if not fut.done:
+                    if self._wait_spans:
+                        wsid = self._wait_spans.pop(fut, None)
+                        if wsid:
+                            self.tracer.end(wsid, {"outcome": "cleared"})
                     fut.fail(LockConflict(key, set()))
         self._locks.clear()
         self._held_by_txn.clear()
+        self._wait_spans.clear()

@@ -187,6 +187,13 @@ class ComputeNode:
         #: Chaos hook invoked at every journaled FSM edge (core/participant.py
         #: ``fault_point``); armed by the recovery fault-point sweep.
         self.fault_hook = None
+        #: Optional :class:`repro.obs.Tracer` (attached by the cluster like
+        #: ``metrics``); ``None`` keeps every hot path at one attribute check.
+        self.tracer = None
+        #: Per-node txn sequence (see :meth:`next_txn_seq`): ids minted here
+        #: depend only on this node's history, never on other clusters that
+        #: happen to share the process.
+        self._txn_seq = 0
 
         self.stats = {
             "committed": 0,
@@ -213,6 +220,17 @@ class ComputeNode:
             ("run_migrations", self._h_run_migrations),
         ):
             self.endpoint.register(method, handler)
+
+    def next_txn_seq(self) -> int:
+        """Mint the next per-node transaction sequence number.
+
+        Every ``TxnContext`` coordinated by this node passes one of these as
+        ``seq``, so txn ids replay identically across same-seed runs even when
+        several clusters share one process (a module-global counter would
+        leak positions between them and shift every traced txn id).
+        """
+        self._txn_seq += 1
+        return self._txn_seq
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -314,6 +332,16 @@ class ComputeNode:
         if self.frozen:
             raise NodeCrashed(f"node-{self.node_id}: try_log({log_name}) while frozen")
         gate = self.log_gate(log_name)
+        tracer = self.tracer
+        sid = 0
+        if tracer is not None:
+            tracer.count("wal.appends")
+            # The span covers the gate wait too, so WAL-gate queueing shows
+            # up as time-in-wal_append rather than vanishing.
+            sid = tracer.begin(
+                self.address, "wal_append",
+                args={"log": log_name, "txn": txn_id, "kind": kind.name},
+            )
         yield gate.acquire()
         try:
             expected = None
@@ -328,9 +356,14 @@ class ComputeNode:
                 log=log_name,
             )
             self.lsn_tracker[log_name] = result.lsn
+            if sid:
+                tracer.end(sid, {"ok": int(result.ok)})
+                sid = 0
             return result
         finally:
             gate.release()
+            if sid:
+                tracer.end(sid)
 
     def apply_system_entries(self, entries) -> None:
         """Fold committed GTable/MTable updates into this node's views."""
@@ -364,9 +397,17 @@ class ComputeNode:
     def _h_user_txn(self, spec: TxnSpec):
         if invariant_confluent(spec.ops):
             return (yield from self._h_user_txn_fast(spec))
-        ctx = TxnContext(self.node_id)
+        ctx = TxnContext(self.node_id, seq=self.next_txn_seq())
         self.txns[ctx.txn_id] = ctx
         ctx.start_time = self.sim.now
+        tracer = self.tracer
+        sid = 0
+        if tracer is not None:
+            sid = tracer.begin(
+                self.address, "user_txn", args={"txn": ctx.txn_id}
+            )
+            # Downstream commit machinery parents its spans under the txn.
+            ctx.span = sid
         try:
             local_ops, remote_ops = self._partition_ops(ctx, spec)
             self._acquire_and_stage(ctx, local_ops)
@@ -378,6 +419,8 @@ class ComputeNode:
             self.locks.release_all(ctx.txn_id)
             ctx.mark_committed()
             self.stats["committed"] += 1
+            if sid:
+                tracer.end(sid, {"status": "committed"})
             return {"status": "committed"}
         except TxnAborted as abort:
             self.locks.release_all(ctx.txn_id)
@@ -391,6 +434,10 @@ class ComputeNode:
                 self.stats["cas_aborts"] += 1
             if getattr(ctx, "remote_participants", None):
                 self._abort_remote_branches(ctx)
+            if sid:
+                tracer.end(
+                    sid, {"status": "aborted", "reason": abort.reason.value}
+                )
             raise
         finally:
             self.txns.pop(ctx.txn_id, None)
@@ -440,6 +487,10 @@ class ComputeNode:
             page = self.page_of(op.table, op.key)
             if self.cache.get(page) is MISS:
                 misses.append(page)
+        tracer = self.tracer
+        if tracer is not None and ops:
+            tracer.count("cache.misses", len(misses))
+            tracer.count("cache.hits", len(ops) - len(misses))
         if ops:
             yield from self.cpu.run(len(ops) * self.params.op_cpu)
         if misses:
@@ -482,10 +533,14 @@ class ComputeNode:
 
     def _h_user_branch(self, txn_id: str, coord_id: int, ops: Tuple[TxnOp, ...]):
         """Execute the local share of a distributed transaction (stage only)."""
-        ctx = TxnContext(self.node_id)
+        ctx = TxnContext(self.node_id, seq=self.next_txn_seq())
         ctx.txn_id = txn_id
         self.txns[txn_id] = ctx
         self.stats["branches_served"] += 1
+        tracer = self.tracer
+        sid = 0
+        if tracer is not None:
+            sid = tracer.begin(self.address, "branch", args={"txn": txn_id})
         try:
             for granule in sorted({self.gmap.granule_of(op.key) for op in ops}):
                 self.runtime.check_ownership(ctx, granule)
@@ -506,10 +561,16 @@ class ComputeNode:
                 )
             ctx.fsm.to(TxnState.ACTIVE)
             fault_point(self, txn_id, "begin", "after")
+            if sid:
+                tracer.end(sid, {"status": "active"})
             return True
-        except TxnAborted:
+        except TxnAborted as abort:
             self.locks.release_all(txn_id)
             self.txns.pop(txn_id, None)
+            if sid:
+                tracer.end(
+                    sid, {"status": "aborted", "reason": abort.reason.value}
+                )
             raise
 
     def _h_branch_abort(self, txn_id: str):
@@ -530,8 +591,14 @@ class ComputeNode:
         per-owner appends yields the same converged counters, which is
         exactly what makes the coordination safe to skip.
         """
-        ctx = TxnContext(self.node_id)
+        ctx = TxnContext(self.node_id, seq=self.next_txn_seq())
         ctx.start_time = self.sim.now
+        tracer = self.tracer
+        sid = 0
+        if tracer is not None:
+            sid = tracer.begin(
+                self.address, "user_txn_fast", args={"txn": ctx.txn_id}
+            )
         try:
             home = self.gmap.granule_of(spec.home_key)
             home_owner = self.gtable.get(home)
@@ -578,6 +645,8 @@ class ComputeNode:
                 # Count only multi-owner commits: these are the transactions
                 # that would otherwise have paid for 2PC.
                 self.stats["fast_path_commits"] += 1
+            if sid:
+                tracer.end(sid, {"status": "committed"})
             return {"status": "committed", "fast_path": True}
         except TxnAborted as abort:
             ctx.mark_aborted(abort.reason)
@@ -586,6 +655,10 @@ class ComputeNode:
                 self.stats["wrong_node"] += 1
             elif abort.reason is AbortReason.CAS_CONFLICT:
                 self.stats["cas_aborts"] += 1
+            if sid:
+                tracer.end(
+                    sid, {"status": "aborted", "reason": abort.reason.value}
+                )
             raise
 
     def _append_increments(self, txn_id: str, ops: List[TxnOp]):
@@ -616,7 +689,7 @@ class ComputeNode:
     def _h_branch_fast(self, txn_id: str, ops: Tuple[TxnOp, ...]):
         """Append a remote owner's increment share (fast-path branch)."""
         self.stats["branches_served"] += 1
-        ctx = TxnContext(self.node_id)
+        ctx = TxnContext(self.node_id, seq=self.next_txn_seq())
         try:
             for granule in sorted({self.gmap.granule_of(op.key) for op in ops}):
                 self.runtime.check_ownership(ctx, granule)
@@ -740,6 +813,13 @@ class ComputeNode:
                 granule, src = queue.pop(0)
                 backoff = 0.002
                 started = self.sim.now
+                tracer = self.tracer
+                sid = 0
+                if tracer is not None:
+                    sid = tracer.begin(
+                        self.address, "migration",
+                        args={"granule": granule, "src": src},
+                    )
                 while True:
                     try:
                         yield from self.runtime.migrate(granule, src, self.node_id)
@@ -748,9 +828,13 @@ class ComputeNode:
                             self.metrics.record_migration(
                                 self.sim.now, latency=self.sim.now - started
                             )
+                        if sid:
+                            tracer.end(sid, {"status": "done"})
                         break
                     except TxnAborted as abort:
                         if abort.reason is AbortReason.WRONG_NODE:
+                            if sid:
+                                tracer.end(sid, {"status": "moot"})
                             done["failed"] += 1
                             break  # ownership changed under us; move is moot
                         yield Timeout(

@@ -84,8 +84,21 @@ def invariant_confluent(ops) -> bool:
 class TxnContext:
     """State of one in-flight transaction on its coordinating node."""
 
-    def __init__(self, node_id: int, is_reconfig: bool = False, name: str = ""):
-        self.txn_id = f"txn-{node_id}-{next(_txn_counter)}"
+    def __init__(
+        self,
+        node_id: int,
+        is_reconfig: bool = False,
+        name: str = "",
+        seq: Optional[int] = None,
+    ):
+        # ``seq`` is the coordinating node's per-instance sequence number
+        # (ComputeNode.next_txn_seq).  Per-node allocation keeps txn ids
+        # deterministic across same-seed runs in one process; the module
+        # counter is only a fallback for bare construction (tests, tools)
+        # where no node object exists.
+        if seq is None:
+            seq = next(_txn_counter)
+        self.txn_id = f"txn-{node_id}-{seq}"
         self.node_id = node_id
         self.is_reconfig = is_reconfig
         self.name = name

@@ -80,6 +80,11 @@ def _report_cache(cache) -> None:
 
 
 def _run_figure(name: str, args, cache=None) -> Dict[str, Any]:
+    if args.trace:
+        raise SystemExit(
+            f"{name} is a figure; --trace only applies to a single "
+            "ScenarioSpec file (save one cell's spec and run that)"
+        )
     module = FIGURES[name]
     kwargs: Dict[str, Any] = {"scale": args.scale, "seed": args.seed}
     supported = inspect.signature(module.run).parameters
@@ -116,6 +121,11 @@ def _run_spec_file(path: str, args, cache=None) -> Any:
     with open(path) as f:
         data = json.load(f)
     if isinstance(data, dict) and "axes" in data:
+        if args.trace:
+            raise SystemExit(
+                f"{path} is a sweep; --trace only applies to a single "
+                "ScenarioSpec file (one trace file per run)"
+            )
         sweep = Sweep.from_dict(data)
         out = []
         # Failed cells surface as failure-shaped summaries (CellFailure),
@@ -131,6 +141,19 @@ def _run_spec_file(path: str, args, cache=None) -> Any:
             "--workers only applies to sweeps"
         )
     spec = ScenarioSpec.from_dict(data)
+    if args.trace:
+        from repro.experiments.spec import TraceSpec
+        from repro.obs import write_chrome_trace
+
+        if spec.trace is None or not spec.trace.enabled:
+            filters = (
+                args.trace_filter.split(",") if args.trace_filter else None
+            )
+            spec = spec.with_(trace=TraceSpec(filter=filters))
+        result = run_spec(spec)
+        write_chrome_trace(result.trace, args.trace)
+        print(f"[trace] wrote {args.trace}", file=sys.stderr)
+        return result.summary()
     if cache is not None:
         from repro.experiments.parallel import run_cells
 
@@ -196,6 +219,17 @@ def main(argv=None) -> int:
     p_run.add_argument(
         "--no-cache", action="store_true",
         help="disable result caching even if $REPRO_SWEEP_CACHE is set",
+    )
+    p_run.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="enable deterministic tracing and write the run's Chrome "
+             "trace-event JSON (Perfetto-loadable) to OUT.json; single "
+             "ScenarioSpec files only",
+    )
+    p_run.add_argument(
+        "--trace-filter", metavar="PREFIXES", default=None,
+        help="comma-separated span-name prefixes to keep (e.g. "
+             "'2pc,rpc:prepare'); default keeps every span",
     )
 
     args = parser.parse_args(argv)

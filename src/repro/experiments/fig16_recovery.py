@@ -31,6 +31,7 @@ from repro.experiments.spec import (
     ProbeSpec,
     ScenarioSpec,
     TopologySpec,
+    TraceSpec,
     WorkloadSpec,
 )
 
@@ -136,6 +137,7 @@ def recovery_spec(
     seed: int = 1,
     incr_fraction: float = INCR_FRACTION,
     remote_fraction: float = REMOTE_FRACTION,
+    trace: Optional[TraceSpec] = None,
 ) -> ScenarioSpec:
     """One (system, crash kind) cell: mixed 2PC + fast-path load, one crash.
 
@@ -194,6 +196,7 @@ def recovery_spec(
                 threshold=SLO_UNAVAILABILITY_S,
             ),
         ],
+        trace=trace,
         seed=seed,
         duration=DURATION,
         # Fenced-but-alive victims hold stale views at quiescence; the
@@ -209,12 +212,18 @@ def run_grid(
     crash_kinds: Optional[Sequence[str]] = None,
     workers: Optional[int] = None,
     cache=None,
+    trace: Optional[TraceSpec] = None,
 ) -> Dict[Tuple[str, str], SpecRunResult]:
-    """The (crash kind x system) grid; same pool/cache semantics as fig7."""
+    """The (crash kind x system) grid; same pool/cache semantics as fig7.
+
+    ``trace`` (a :class:`TraceSpec`) turns on deterministic tracing for
+    every cell, populating the per-cell ``prepare_s`` / ``decision_s``
+    span-summary columns (zero when untraced).
+    """
     kinds = list(crash_kinds) if crash_kinds is not None else list(ALL_KINDS)
     keys = [(kind, system) for kind in kinds for system in systems]
     specs = [
-        recovery_spec(system, kind, scale=scale, seed=seed)
+        recovery_spec(system, kind, scale=scale, seed=seed, trace=trace)
         for kind, system in keys
     ]
     results = run_cells(specs, workers=workers, cache=cache)
@@ -232,6 +241,7 @@ def summarize(results: Dict[Tuple[str, str], SpecRunResult]) -> FigureResult:
         probes = {p.name: p for p in result.probes}
         coord = result.extras.get("coordination", {})
         recovery = result.extras.get("recovery", {})
+        spans = result.extras.get("span_summary", {})
         fig.add_row(
             crash=kind,
             system=SYSTEM_LABELS.get(system, system),
@@ -248,6 +258,10 @@ def summarize(results: Dict[Tuple[str, str], SpecRunResult]) -> FigureResult:
             fast_frac=coord.get("avoided_fraction", 0.0),
             p99_s=probes["p99_latency"].value,
             unavail_s=probes["unavailability"].value,
+            # Traced runs only: total sim time spent in each 2PC phase
+            # (zero when the grid ran without a TraceSpec).
+            prepare_s=spans.get("2pc.prepare", {}).get("total_s", 0.0),
+            decision_s=spans.get("2pc.decision", {}).get("total_s", 0.0),
             slo_ok=result.slo_ok,
         )
     marlin_rows = [
@@ -277,6 +291,7 @@ def run(
     results: Optional[Dict[Tuple[str, str], SpecRunResult]] = None,
     workers: Optional[int] = None,
     cache=None,
+    trace: Optional[TraceSpec] = None,
 ) -> FigureResult:
     if results is None:
         results = run_grid(
@@ -286,6 +301,7 @@ def run(
             crash_kinds=crash_kinds,
             workers=workers,
             cache=cache,
+            trace=trace,
         )
     return summarize(results)
 

@@ -28,6 +28,7 @@ from repro.experiments.spec import (
     ProbeSpec,
     ScenarioSpec,
     TopologySpec,
+    TraceSpec,
     WorkloadSpec,
 )
 
@@ -111,6 +112,7 @@ def slo_spec(
     fault_kind: str,
     scale: float = 1.0,
     seed: int = 1,
+    trace: Optional[TraceSpec] = None,
 ) -> ScenarioSpec:
     """One (system, fault kind) cell: steady load + the canned schedule."""
     schedule = FAULT_KINDS.get(fault_kind)
@@ -158,6 +160,7 @@ def slo_spec(
                 threshold=SLO_MIGRATION_P99_S,
             ),
         ],
+        trace=trace,
         seed=seed,
         duration=DURATION,
         # Fenced-but-alive victims legitimately hold stale views at the end
@@ -174,15 +177,19 @@ def run_grid(
     fault_kinds: Optional[Sequence[str]] = None,
     workers: Optional[int] = None,
     cache=None,
+    trace: Optional[TraceSpec] = None,
 ) -> Dict[Tuple[str, str], SpecRunResult]:
     """The (fault kind x system) grid; ``workers > 1`` runs cells on a
     process pool (every cell is an independent seeded simulation);
     ``cache`` reuses stored cell results (EXPERIMENTS.md "Result
-    caching")."""
+    caching"); ``trace`` (a :class:`TraceSpec`) turns on deterministic
+    tracing per cell, populating the ``prepare_s`` / ``decision_s``
+    span-summary columns."""
     kinds = list(fault_kinds) if fault_kinds is not None else sorted(FAULT_KINDS)
     keys = [(kind, system) for kind in kinds for system in systems]
     specs = [
-        slo_spec(system, kind, scale=scale, seed=seed) for kind, system in keys
+        slo_spec(system, kind, scale=scale, seed=seed, trace=trace)
+        for kind, system in keys
     ]
     results = run_cells(specs, workers=workers, cache=cache)
     raise_failures(results, context="fig7")
@@ -197,6 +204,7 @@ def summarize(results: Dict[Tuple[str, str], SpecRunResult]) -> FigureResult:
     for (kind, system), result in sorted(results.items()):
         m = result.metrics
         probes = {p.name: p for p in result.probes}
+        spans = result.extras.get("span_summary", {})
         tput = result.throughput_series()
         during = [
             tps for t, tps in tput if FAULT_AT <= t < result.duration - 1.0
@@ -215,6 +223,10 @@ def summarize(results: Dict[Tuple[str, str], SpecRunResult]) -> FigureResult:
             unavail_s=probes["unavailability"].value,
             migration_p99_s=probes["migration_p99"].value,
             failovers=len(m.failovers),
+            # Traced runs only: total sim time each 2PC phase held (zero
+            # when the grid ran without a TraceSpec).
+            prepare_s=spans.get("2pc.prepare", {}).get("total_s", 0.0),
+            decision_s=spans.get("2pc.decision", {}).get("total_s", 0.0),
             slo_ok=result.slo_ok,
         )
         fig.rows[-1]["tput_series"] = tput
@@ -260,6 +272,7 @@ def run(
     results: Optional[Dict[Tuple[str, str], SpecRunResult]] = None,
     workers: Optional[int] = None,
     cache=None,
+    trace: Optional[TraceSpec] = None,
 ) -> FigureResult:
     if results is None:
         results = run_grid(
@@ -269,6 +282,7 @@ def run(
             fault_kinds=fault_kinds,
             workers=workers,
             cache=cache,
+            trace=trace,
         )
     return summarize(results)
 

@@ -86,6 +86,9 @@ class PortableRunResult:
     scale_summaries: List[dict] = field(default_factory=list)
     probes: List[ProbeResult] = field(default_factory=list)
     extras: Dict[str, Any] = field(default_factory=dict)
+    #: Detached :class:`repro.obs.TraceData` (plain data, pickles fine)
+    #: when the cell's spec enabled tracing; ``None`` otherwise.
+    trace: Any = None
 
     #: Distinguishes results from :class:`CellFailure` without isinstance.
     ok = True
@@ -130,6 +133,7 @@ class PortableRunResult:
             scale_summaries=list(result.scale_summaries),
             probes=list(result.probes),
             extras=dict(result.extras),
+            trace=getattr(result, "trace", None),
         )
 
 

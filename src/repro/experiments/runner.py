@@ -81,6 +81,8 @@ class SpecRunResult(ScenarioResult):
     probes: List[ProbeResult] = field(default_factory=list)
     #: Action-specific outputs (e.g. ``membership_churn`` statistics).
     extras: Dict[str, Any] = field(default_factory=dict)
+    #: Detached :class:`repro.obs.TraceData` when the spec enabled tracing.
+    trace: Any = None
 
     @property
     def slo_ok(self) -> bool:
@@ -398,6 +400,15 @@ def _probe_measure(probe: ProbeSpec, result, window: Tuple[float, float]):
         ]
         value = float(np.percentile(samples, probe.pct)) if samples else 0.0
         ok = value <= probe.threshold
+    elif probe.kind in ("counter_max", "counter_min"):
+        # Whole-run counters from the tracing registry; windows do not
+        # apply (counters are not bucketed).  An untraced run reads 0.
+        counters = result.extras.get("counters") or {}
+        value = float(counters.get(probe.counter, 0))
+        if probe.kind == "counter_max":
+            ok = value <= probe.threshold
+        else:
+            ok = value >= probe.threshold
     else:  # pragma: no cover - ProbeSpec validates kinds
         raise ValueError(f"unknown probe kind {probe.kind!r}")
     return value, ok
@@ -464,6 +475,12 @@ def _arm_fault_points(cluster: Cluster, points: List[Dict[str, Any]]) -> None:
                 if now < float(point.get("at", 0.0)):
                     continue
                 point["fired"] = True
+                tracer = cluster.tracer
+                if tracer is not None:
+                    tracer.instant(
+                        node.address, "fault_point.fire",
+                        args={"txn": txn_id, "edge": edge, "phase": phase},
+                    )
                 if all(p.get("fired") for p in armed):
                     node.fault_hook = None
                 cluster.fail_node(node_id)
@@ -488,6 +505,16 @@ def run_spec(spec: ScenarioSpec) -> SpecRunResult:
     probes.
     """
     cluster = Cluster(build_config(spec))
+    tracer = None
+    if spec.trace is not None and spec.trace.enabled:
+        from repro.obs import Tracer
+
+        tracer = Tracer(
+            cluster.sim,
+            ring_size=spec.trace.flight_recorder,
+            prefixes=spec.trace.filter,
+        )
+        cluster.attach_tracer(tracer)
     result = SpecRunResult(
         system=spec.topology.coordination,
         duration=0.0,
@@ -565,8 +592,11 @@ def run_spec(spec: ScenarioSpec) -> SpecRunResult:
     result.duration = end
     result.scale_summaries = list(cluster.scale_events)
     if spec.check_invariants:
-        live = [cluster.nodes[n] for n in cluster.live_node_ids()]
-        check_view_consistency(live, cluster.gmap.num_granules)
+        from repro.obs.forensics import forensics
+
+        with forensics(cluster):
+            live = [cluster.nodes[n] for n in cluster.live_node_ids()]
+            check_view_consistency(live, cluster.gmap.num_granules)
     fast = sum(n.stats["fast_path_commits"] for n in cluster.nodes.values())
     two_pc = sum(n.stats["two_pc_commits"] for n in cluster.nodes.values())
     if fast or two_pc:
@@ -588,5 +618,21 @@ def run_spec(spec: ScenarioSpec) -> SpecRunResult:
             "committed": sum(r.committed for r in cluster.recovery_reports),
             "aborted": sum(r.aborted for r in cluster.recovery_reports),
         }
+    if cluster._all_detectors:
+        result.extras["failure_detection"] = dict(
+            mode=spec.topology.coordination,
+            **cluster.failure_detection_stats(),
+        )
+    if tracer is not None:
+        from repro.obs import span_summary
+
+        tracer.count("commit.fast_path", fast)
+        tracer.count("commit.two_pc", two_pc)
+        tracer.count("txn.committed", cluster.metrics.total_committed)
+        tracer.count("txn.aborted", cluster.metrics.total_aborted)
+        trace = tracer.detach()
+        result.trace = trace
+        result.extras["counters"] = dict(sorted(trace.counters.items()))
+        result.extras["span_summary"] = span_summary(trace)
     result.probes = [_evaluate_probe(p, result) for p in spec.probes]
     return result

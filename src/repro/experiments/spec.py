@@ -46,6 +46,7 @@ __all__ = [
     "ScenarioSpec",
     "Sweep",
     "TopologySpec",
+    "TraceSpec",
     "WorkloadSpec",
     "scale_out_spec",
 ]
@@ -230,6 +231,36 @@ class FaultSpec(_SpecBase):
 
 
 @dataclass
+class TraceSpec(_SpecBase):
+    """Deterministic tracing configuration (off unless a spec carries one).
+
+    When present (and ``enabled``), the runner attaches a
+    :class:`repro.obs.Tracer` to the cluster before the run: every RPC,
+    transaction, 2PC phase, WAL append, lock wait, migration, detector
+    verdict and chaos action becomes a span/instant keyed by sim time, the
+    run result carries the detached trace plus a counters registry, and
+    each node keeps a bounded flight-recorder ring for failure forensics.
+    Tracing is purely observational — a traced run executes the exact same
+    event sequence as an untraced one.
+    """
+
+    enabled: bool = True
+    #: Per-track flight-recorder ring size (last N span events kept).
+    flight_recorder: int = 256
+    #: Optional span-name prefixes; spans not matching any are dropped
+    #: (counters and instants are always recorded).
+    filter: Optional[List[str]] = None
+
+    def __post_init__(self):
+        if self.filter is not None:
+            self.filter = [str(p) for p in self.filter]
+        if self.flight_recorder <= 0:
+            raise ValueError(
+                f"flight_recorder must be positive, got {self.flight_recorder}"
+            )
+
+
+@dataclass
 class ProbeSpec(_SpecBase):
     """One SLO probe evaluated on the finished run.
 
@@ -243,7 +274,11 @@ class ProbeSpec(_SpecBase):
       the window <= threshold;
     * ``migration_latency`` — ``pct``-percentile of per-MigrationTxn latency
       over the window <= threshold (seconds): the control-plane SLO, not a
-      user-transaction metric.
+      user-transaction metric;
+    * ``counter_max`` / ``counter_min`` — the named tracer counter (e.g.
+      ``"lock.waits"``, ``"rpc.heartbeat"``, ``"detector.fencings"``) must
+      be <= / >= threshold.  Requires ``counter`` and a spec with tracing
+      enabled (:class:`TraceSpec`); windows do not apply.
 
     ``every`` turns any probe into a *series* probe: besides the whole-window
     verdict, the probe is re-evaluated over consecutive ``every``-second
@@ -261,6 +296,8 @@ class ProbeSpec(_SpecBase):
     window: Optional[Tuple[float, float]] = None
     #: Sub-window width (seconds) for the per-window probe series.
     every: Optional[float] = None
+    #: Counter name for the ``counter_max`` / ``counter_min`` kinds.
+    counter: Optional[str] = None
 
     KINDS = (
         "latency",
@@ -268,6 +305,8 @@ class ProbeSpec(_SpecBase):
         "abort_ceiling",
         "unavailability",
         "migration_latency",
+        "counter_max",
+        "counter_min",
     )
 
     def __post_init__(self):
@@ -279,6 +318,16 @@ class ProbeSpec(_SpecBase):
             self.window = tuple(self.window)
         if self.every is not None and self.every <= 0:
             raise ValueError(f"probe `every` must be positive, got {self.every}")
+        if self.kind in ("counter_max", "counter_min") and not self.counter:
+            raise ValueError(f"probe kind {self.kind!r} needs a `counter` name")
+
+    def to_dict(self) -> Dict[str, Any]:
+        # Omit ``counter`` when unset so pre-existing spec JSON (and the
+        # content-addressed cache keys derived from it) stays byte-identical.
+        data = _jsonify(asdict(self))
+        if data.get("counter") is None:
+            data.pop("counter", None)
+        return data
 
 
 @dataclass
@@ -301,6 +350,8 @@ class ScenarioSpec(_SpecBase):
     phases: List[PhaseSpec] = field(default_factory=list)
     faults: Optional[FaultSpec] = None
     probes: List[ProbeSpec] = field(default_factory=list)
+    #: Deterministic tracing; ``None`` (the default) keeps tracing fully off.
+    trace: Optional[TraceSpec] = None
     seed: int = 1
     warmup: float = 0.1
     tail: float = 10.0
@@ -317,7 +368,7 @@ class ScenarioSpec(_SpecBase):
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "topology": self.topology.to_dict(),
             "workload": self.workload.to_dict(),
@@ -332,6 +383,12 @@ class ScenarioSpec(_SpecBase):
             "check_invariants": self.check_invariants,
             "run_limit": self.run_limit,
         }
+        # Tracing is observability-only: omit the key entirely when unset so
+        # default spec JSON — and every cache key derived from it — is
+        # byte-identical to pre-tracing specs.
+        if self.trace is not None:
+            data["trace"] = self.trace.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
@@ -352,6 +409,8 @@ class ScenarioSpec(_SpecBase):
         data["probes"] = [
             ProbeSpec.from_dict(p) for p in data.get("probes") or ()
         ]
+        if data.get("trace") is not None:
+            data["trace"] = TraceSpec.from_dict(data["trace"])
         return cls(**data)
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -1,0 +1,46 @@
+"""Validate a Chrome trace-event JSON file: ``python -m repro.obs TRACE.json``.
+
+Exit codes: 0 valid, 1 unreadable, 2 schema violations (printed).
+Prints a one-line digest (event/track/span counts) on success — the CI
+trace-smoke job greps this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import validate_chrome_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Validate a Chrome trace-event JSON file.",
+    )
+    parser.add_argument("trace", help="path to a --trace output file")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.trace, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"unreadable trace {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_chrome_trace(data)
+    if errors:
+        for err in errors:
+            print(f"schema: {err}", file=sys.stderr)
+        return 2
+    events = data["traceEvents"]
+    spans = sum(1 for ev in events if ev.get("ph") == "X")
+    tracks = sum(
+        1 for ev in events
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name"
+    )
+    print(f"trace ok: {len(events)} events, {spans} spans, {tracks} tracks")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

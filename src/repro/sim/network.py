@@ -162,6 +162,14 @@ class Network:
         self.messages_dropped = 0
         #: Optional :class:`NetworkFaultPlane`; ``None`` on fault-free runs.
         self.fault_plane: Optional[NetworkFaultPlane] = None
+        #: Optional :class:`repro.obs.Tracer` consulted by the RPC layer;
+        #: ``None`` keeps the call path at one attribute check (chaos-hook
+        #: idiom — see OBSERVABILITY.md).
+        self.tracer = None
+        # Per-network client-id allocator (see Client): ids restart at 0 for
+        # every network so endpoint addresses — and the trace tracks derived
+        # from them — are identical across same-seed runs in one process.
+        self._next_client_id = 0
         # Base one-way latencies memoised per (src, dst); avoids the frozenset
         # allocation of ``base_one_way`` on every message.  The latency model
         # is treated as immutable once attached (swap the whole model to

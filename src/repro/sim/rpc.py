@@ -97,7 +97,7 @@ class _PendingCall:
 
     __slots__ = (
         "fut", "network", "caller_region", "callee_region",
-        "caller_addr", "callee_addr", "cancelled",
+        "caller_addr", "callee_addr", "cancelled", "span",
     )
 
     def __init__(
@@ -116,6 +116,11 @@ class _PendingCall:
         self.caller_addr = caller_addr
         self.callee_addr = callee_addr
         self.cancelled = False
+        #: Trace context piggybacked on the call: ``(tracer, span_id)`` when
+        #: tracing is on (set by :meth:`RpcEndpoint.call`), else ``None``.
+        #: The server side reads it back via ``reply.__self__`` to parent its
+        #: handler span under the client's call span.
+        self.span = None
 
     def reply(self, value: Any, exc: Optional[BaseException]) -> None:
         # Response travels back over the network to the caller.
@@ -130,6 +135,12 @@ class _PendingCall:
         if fut._done:  # timed out already; late response discarded
             return
         self.cancelled = True  # lazily discards the armed timeout entry
+        sp = self.span
+        if sp is not None:
+            sp[0].end(
+                sp[1],
+                None if exc is None else {"error": type(exc).__name__},
+            )
         if exc is not None:
             fut.fail(exc)
         else:
@@ -209,6 +220,13 @@ class RpcEndpoint:
         pending = _PendingCall(
             fut, network, self.region, target.region, self.address, address
         )
+        tracer = network.tracer
+        if tracer is not None:
+            pending.span = (
+                tracer,
+                tracer.begin(self.address, "rpc:" + method,
+                             args={"to": address}),
+            )
         if timeout is not None:
             # The pending call is its own cancellation token; the RpcTimeout
             # itself is only materialised if the timer actually fires (the
@@ -264,9 +282,23 @@ class RpcEndpoint:
                 reply(None, RpcError(f"{self.address}: unknown method {method!r}"))
             return
         self.requests_served += 1
+        sid = 0
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.count("rpc." + method)
+            parent = 0
+            if reply is not None:
+                # The trace context rides the _PendingCall the bound reply
+                # method belongs to (casts arrive with reply=None: no parent).
+                sp = getattr(getattr(reply, "__self__", None), "span", None)
+                if sp is not None:
+                    parent = sp[1]
+            sid = tracer.begin(self.address, "serve:" + method, parent=parent)
         try:
             result = handler(*args)
         except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            if sid:
+                tracer.end(sid, {"error": type(exc).__name__})
             if reply is not None:
                 reply(None, RemoteError(self.address, method, exc))
             return
@@ -274,6 +306,8 @@ class RpcEndpoint:
         # inspect.isgenerator on the per-request path, and the non-generator
         # branch stays allocation-free — no Future, no Process spawn.
         if type(result) is not GeneratorType:
+            if sid:
+                tracer.end(sid)
             if reply is not None:
                 reply(result, None)
             return
@@ -284,6 +318,12 @@ class RpcEndpoint:
 
         def on_done(fut: Future) -> None:
             self._live_processes.pop(proc, None)
+            if sid:
+                exc = fut.exception
+                tracer.end(
+                    sid,
+                    None if exc is None else {"error": type(exc).__name__},
+                )
             if self.crashed:
                 return  # crashed while handling; no response escapes
             if reply is None:

@@ -12,7 +12,6 @@ with exponential backoff bounded at 100 ms (§6.1.4).
 
 from __future__ import annotations
 
-import itertools
 import random
 from typing import Dict, Iterable, Optional
 
@@ -79,8 +78,6 @@ class Router:
 class Client:
     """One closed-loop, interactive-mode client."""
 
-    _ids = itertools.count()
-
     def __init__(
         self,
         sim: Simulator,
@@ -94,7 +91,11 @@ class Client:
         request_timeout: float = 5.0,
     ):
         self.sim = sim
-        self.client_id = next(Client._ids)
+        # Per-network allocation, not a process-global counter: a global
+        # would leak across runs in one process and shift every client
+        # address (= trace track), breaking trace byte-identity.
+        self.client_id = network._next_client_id
+        network._next_client_id += 1
         self.region = region
         self.router = router
         self.workload = workload

@@ -105,6 +105,32 @@ class TestEndToEndDetection:
         cluster.run(until=5.0)
         assert cluster.metrics.failovers == []
         assert sorted(cluster.ground_truth_mtable()) == [0, 1, 2]
+        # The whole detection pipeline stayed quiet, and says so.
+        assert cluster.failure_detection_stats() == {
+            "suspicions_raised": 0, "stand_downs": 0,
+            "failovers_started": 0, "fencings_committed": 0,
+        }
+
+    def test_pipeline_counters_track_detection(self):
+        """suspicion -> failover -> fencing shows up in the always-on
+        per-detector counters and (when traced) the counters registry."""
+        from repro.obs import Tracer
+
+        cluster = make_cluster(
+            "marlin", num_nodes=3, num_keys=3072, failure_detection=True
+        )
+        cluster.attach_tracer(Tracer(cluster.sim))
+        cluster.run(until=0.5)
+        cluster.fail_node(1)
+        cluster.run(until=10.0)
+        stats = cluster.failure_detection_stats()
+        assert stats["suspicions_raised"] >= 1
+        assert stats["failovers_started"] >= 1
+        # Exactly one survivor won the vote-gated fencing race.
+        assert stats["fencings_committed"] == 1
+        counters = cluster.tracer.counters
+        assert counters["detector.suspicions"] == stats["suspicions_raised"]
+        assert counters["detector.fencings"] == 1
 
     def test_asymmetric_partition_fences_not_double_owns(self):
         """A node unreachable from its monitors but still reachable from

@@ -38,6 +38,7 @@ from repro.core.participant import (
 )
 from repro.core.recovery import analyze
 from repro.engine.node import NodeCrashed, NodeParams, glog_name
+from repro.obs import Tracer, forensics
 from repro.sim.core import Timeout
 from repro.storage.log import LogRecord, RecordKind
 from repro.storage.replay import MAX_WAITERS_PER_LOG, ReplayInterrupted
@@ -79,6 +80,9 @@ def run_edge_kill(role, edge, phase, seed, fault_at=0.8, rejoin_after=0.3,
     cluster = make_cluster(
         "marlin", num_nodes=3, num_keys=2048, keys_per_granule=64, seed=seed
     )
+    # Flight recorder only: a failed invariant below reports the last spans
+    # each node recorded before the kill (see assert_crash_invariants).
+    cluster.attach_tracer(Tracer(cluster.sim, ring_size=64))
     cluster.run(until=0.05)
     _router, clients = start_clients(
         cluster, count=4, seed=seed, incr_fraction=0.2, remote_fraction=0.5
@@ -114,11 +118,14 @@ def assert_crash_invariants(cluster):
     live_glogs = [
         cluster.nodes[nid].glog for nid in cluster.live_node_ids()
     ]
-    check_atomicity(logs)
-    check_durability(logs, live_glogs)
-    check_no_leaked_locks(
-        cluster.nodes[nid] for nid in cluster.live_node_ids()
-    )
+    # Any violation escapes with the flight-recorder tail + fault-log
+    # timeline appended, so a red sweep cell names its killing fault point.
+    with forensics(cluster):
+        check_atomicity(logs)
+        check_durability(logs, live_glogs)
+        check_no_leaked_locks(
+            cluster.nodes[nid] for nid in cluster.live_node_ids()
+        )
 
 
 class TestFaultPointSweep:
@@ -156,6 +163,55 @@ class TestFaultPointSweep:
                 r for r in cluster.recovery_reports if r.node_id == victim
             ]
             assert reports and all(r.unresolved == 0 for r in reports)
+
+
+class TestFailureForensics:
+    """A red invariant names its killing fault point, not just 'violated'."""
+
+    def test_violation_report_carries_killing_edge(self):
+        cluster = make_cluster(
+            "marlin", num_nodes=3, num_keys=2048, keys_per_granule=64,
+            seed=40,
+        )
+        cluster.attach_tracer(Tracer(cluster.sim, ring_size=256))
+        cluster.run(until=0.05)
+        _router, clients = start_clients(
+            cluster, count=4, seed=40, incr_fraction=0.2, remote_fraction=0.5
+        )
+        node = cluster.nodes[1]
+        fired = []
+
+        def hook(txn_id, e, p):
+            if e == "vote" and p == "after" and not fired:
+                fired.append(txn_id)
+                node.fault_hook = None
+                cluster.fail_node(1)
+
+        node.fault_hook = hook
+        cluster.run(until=1.5)
+        for c in clients:
+            c.stop()
+        assert fired, "vote edge never hit"
+        # Forge a split decision: atomicity must fail, and the re-raised
+        # violation must carry the victim's flight-recorder tail with the
+        # killing FSM edge (recorded *before* the fault hook ran).
+        glog_of(cluster, 0).append("txn-forged", RecordKind.DECISION_COMMIT, ())
+        glog_of(cluster, 2).append("txn-forged", RecordKind.DECISION_ABORT, ())
+        with pytest.raises(InvariantViolation) as err:
+            assert_crash_invariants(cluster)
+        msg = str(err.value)
+        assert "=== forensics ===" in msg
+        assert "edge:vote" in msg
+        assert fired[0] in msg  # the killed txn id appears in the timeline
+
+    def test_forensics_without_tracer_says_tracing_off(self):
+        cluster = make_cluster("marlin", num_nodes=2)
+        cluster.run(until=0.05)
+        glog_of(cluster, 0).append("t1", RecordKind.DECISION_COMMIT, ())
+        glog_of(cluster, 1).append("t1", RecordKind.DECISION_ABORT, ())
+        with pytest.raises(InvariantViolation, match="tracing off"):
+            with forensics(cluster):
+                check_atomicity(cluster.all_logs())
 
 
 class TestParticipantFSM:
