@@ -1,0 +1,79 @@
+"""Baseline snapshots: suppress known findings without editing code.
+
+A baseline is a JSON file of finding *fingerprints*.  Fingerprints hash the
+(rule, path, stripped line text, per-line ordinal) — not the line number —
+so unrelated edits above a finding don't invalidate the snapshot, while
+editing the flagged line itself does (the finding resurfaces for re-triage).
+
+Intended flow: ``--write-baseline detlint-baseline.json`` once to adopt the
+linter on a codebase with pre-existing findings, then burn the list down;
+this repo's own baseline is empty — ``src/`` lints clean.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.framework import Finding
+
+__all__ = [
+    "apply_baseline",
+    "fingerprints",
+    "load_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+
+def _fingerprint(finding: Finding, ordinal: int) -> str:
+    payload = "|".join(
+        (finding.rule, finding.path, finding.line_text.strip(), str(ordinal))
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprints(findings: Iterable[Finding]) -> List[str]:
+    """Stable fingerprints, disambiguating identical lines by ordinal."""
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[str] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.line_text.strip())
+        ordinal = seen.get(key, 0)
+        seen[key] = ordinal + 1
+        out.append(_fingerprint(finding, ordinal))
+    return out
+
+
+def write_baseline(path, findings: Iterable[Finding]) -> None:
+    """Snapshot every unwaived finding (errors and advisories) to ``path``."""
+    relevant = [f for f in findings if not f.waived]
+    doc = {
+        "version": _VERSION,
+        "fingerprints": sorted(fingerprints(relevant)),
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path) -> Set[str]:
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path}"
+        )
+    prints = doc.get("fingerprints")
+    if not isinstance(prints, list):
+        raise ValueError(f"malformed baseline file {path}")
+    return set(prints)
+
+
+def apply_baseline(findings: List[Finding], baseline: Set[str]) -> None:
+    """Mark findings whose fingerprint appears in ``baseline`` suppressed."""
+    for finding, print_ in zip(findings, fingerprints(findings)):
+        if print_ in baseline and not finding.waived:
+            finding.suppressed = True

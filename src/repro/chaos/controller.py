@@ -104,6 +104,7 @@ class ChaosController:
         self.faults_injected += 1
         self._record("inject", event)
         if undo is not None or event.duration is not None:
+            # detlint: ok(DET102) — id() is an opaque handle into an insertion-ordered dict; entries are only looked up/popped by the same object, never iterated or sorted by key
             self._active[id(event)] = (event, undo)
 
     def clear(self, event: FaultEvent) -> None:

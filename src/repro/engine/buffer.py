@@ -35,6 +35,11 @@ class _Frame:
 class CacheManager:
     """A fixed-capacity page cache using the clock algorithm."""
 
+    __slots__ = (
+        "capacity", "_frames", "_index", "_hand", "hits", "misses",
+        "evictions",
+    )
+
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")

@@ -19,7 +19,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Granule:
     """A contiguous key range ``[lo, hi)`` identified by ``gid``."""
 
@@ -33,6 +33,8 @@ class Granule:
 
 class GranuleMap:
     """Partitions the integer key space ``[0, num_keys)`` into equal granules."""
+
+    __slots__ = ("num_keys", "keys_per_granule", "num_granules")
 
     def __init__(self, num_keys: int, keys_per_granule: int):
         if num_keys <= 0 or keys_per_granule <= 0:

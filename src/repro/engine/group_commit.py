@@ -25,6 +25,12 @@ __all__ = ["GroupCommitter"]
 class GroupCommitter:
     """Batches commit records for one WAL and flushes them with Append@LSN."""
 
+    __slots__ = (
+        "node", "log_name", "max_batch", "conditional", "_pending",
+        "_wakeup", "_running", "_proc", "batches_flushed",
+        "records_flushed", "cas_failures",
+    )
+
     def __init__(
         self,
         node: "ComputeNode",

@@ -44,6 +44,11 @@ class _Lock:
 class LockTable:
     """Per-node lock manager.  Shared/exclusive modes, strict 2PL release."""
 
+    __slots__ = (
+        "sim", "_locks", "_held_by_txn", "conflicts", "acquisitions",
+        "waits", "tracer", "track", "_wait_spans",
+    )
+
     def __init__(self, sim=None):
         self.sim = sim
         self._locks: Dict[object, _Lock] = {}

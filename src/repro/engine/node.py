@@ -75,7 +75,7 @@ GTABLE = "gtable"
 MTABLE = "mtable"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnOp:
     """One operation of a user transaction.
 
@@ -90,7 +90,7 @@ class TxnOp:
     incr: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnSpec:
     """A user transaction as shipped by a client: an ordered tuple of ops."""
 

@@ -11,7 +11,6 @@ lines 2-6), and cross-node CAS conflicts detected by MarlinCommit.
 from __future__ import annotations
 
 import enum
-import itertools
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
@@ -25,9 +24,6 @@ __all__ = [
     "WrongNodeError",
     "invariant_confluent",
 ]
-
-_txn_counter = itertools.count(1)
-
 
 class TxnStatus(enum.Enum):
     ACTIVE = "active"
@@ -84,6 +80,15 @@ def invariant_confluent(ops) -> bool:
 class TxnContext:
     """State of one in-flight transaction on its coordinating node."""
 
+    # The tail entries are extension attributes set by the commit machinery
+    # (2PC fsm/vote state, traced-run span id, remote participant list);
+    # readers use getattr(ctx, name, default), which an unset slot satisfies.
+    __slots__ = (
+        "txn_id", "node_id", "is_reconfig", "name", "status", "start_time",
+        "writes", "abort_reason",
+        "fsm", "voted", "span", "remote_participants",
+    )
+
     def __init__(
         self,
         node_id: int,
@@ -93,11 +98,14 @@ class TxnContext:
     ):
         # ``seq`` is the coordinating node's per-instance sequence number
         # (ComputeNode.next_txn_seq).  Per-node allocation keeps txn ids
-        # deterministic across same-seed runs in one process; the module
-        # counter is only a fallback for bare construction (tests, tools)
-        # where no node object exists.
+        # deterministic across same-seed runs in one process; there is no
+        # process-global fallback counter (that was PR 7's trace-identity
+        # leak, now a DET101 lint error) — bare construction must pass seq.
         if seq is None:
-            seq = next(_txn_counter)
+            raise TypeError(
+                "TxnContext requires an explicit seq "
+                "(ComputeNode.next_txn_seq() on the coordinating node)"
+            )
         self.txn_id = f"txn-{node_id}-{seq}"
         self.node_id = node_id
         self.is_reconfig = is_reconfig

@@ -256,7 +256,7 @@ class Process:
             self._finished = True
             self.result.fail(killed)
             return
-        except BaseException as err:  # noqa: BLE001 - deliberate fail-fast
+        except BaseException as err:  # detlint: ok(DET108) — the kernel's own crash trap: records the failure on result and reports non-daemon crashes; this is the dispatcher below the coroutines, not a coroutine
             self._finished = True
             self.result.fail(err)
             if not self.daemon:

@@ -61,6 +61,8 @@ class LatencyModel:
         Uniform multiplicative jitter in ``[1, 1 + jitter_frac]``.
     """
 
+    __slots__ = ("intra", "cross", "default_cross", "jitter_frac")
+
     def __init__(
         self,
         intra: float = INTRA_REGION_ONE_WAY,

@@ -19,6 +19,11 @@ __all__ = ["CpuResource", "Mutex", "Queue"]
 class CpuResource:
     """A pool of ``workers`` identical execution slots with a FIFO queue."""
 
+    __slots__ = (
+        "sim", "workers", "name", "_free", "_waiters", "busy_time",
+        "jobs_completed", "slow_factor",
+    )
+
     def __init__(self, sim: Simulator, workers: int, name: str = "cpu"):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -87,6 +92,8 @@ class Mutex:
     local CAS failure that looks like a cross-node modification.
     """
 
+    __slots__ = ("sim", "name", "_locked", "_waiters")
+
     def __init__(self, sim: Simulator, name: str = "mutex"):
         self.sim = sim
         self.name = name
@@ -117,6 +124,8 @@ class Mutex:
 
 class Queue:
     """Unbounded async FIFO queue (mailbox pattern)."""
+
+    __slots__ = ("sim", "name", "_items", "_getters")
 
     def __init__(self, sim: Simulator, name: str = "queue"):
         self.sim = sim

@@ -1,0 +1,23 @@
+# detlint: scope=sim
+"""DET101 negative: per-instance allocation is the sanctioned pattern."""
+
+import itertools
+
+
+class Simulator:
+    def __init__(self, seed):
+        self._seq = itertools.count(1)  # per-instance, reset per run
+        self.seed = seed
+
+    def next_seq(self):
+        return next(self._seq)
+
+
+def read_only():
+    # `global` without rebinding (read access needs no declaration, but a
+    # declaration alone is not mutation) must not fire.
+    global _CONSTANT
+    return _CONSTANT
+
+
+_CONSTANT = 7

@@ -1,0 +1,26 @@
+# detlint: scope=sim
+"""DET101 positive: minimal reproduction of PR 7's txn-counter leak.
+
+``engine/txn.py`` carried a module-level ``itertools.count`` whose values
+leaked into txn ids, so two same-seed runs in one process produced different
+traces.  Both the counter and the global-rebind form must fire.
+"""
+
+import itertools
+from itertools import count
+
+_txn_counter = itertools.count(1)  # the PR 7 bug, verbatim shape
+_aliased = count()
+
+_next_id = 0
+
+
+def allocate():
+    global _next_id
+    _next_id += 1
+    return _next_id
+
+
+class Registry:
+    # class-level count is process-global too: shared by every instance
+    _ids = itertools.count(1)

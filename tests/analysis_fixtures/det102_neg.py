@@ -1,0 +1,30 @@
+# detlint: scope=sim
+"""DET102 negative: primitive sets, membership tests, and sorted() are fine."""
+
+from typing import Set, Tuple
+
+
+class Detector:
+    def __init__(self):
+        self._voted: Set[int] = set()
+        self.blocked: Set[Tuple[str, str]] = set()
+
+    def tally(self):
+        # Iterating a set of ints after sorting is deterministic; the
+        # annotation proves primitiveness for the raw loop too.
+        total = 0
+        for node_id in self._voted:
+            total += node_id
+        return total
+
+    def ordered(self):
+        return sorted(self._voted)
+
+    def is_blocked(self, pair):
+        return pair in self.blocked  # membership test: order-free
+
+
+def dedupe(keys):
+    # sorted() imposes value order — it is the *fix* for set iteration.
+    seen = set()
+    return sorted(k for k in keys if not (k in seen or seen.add(k)))

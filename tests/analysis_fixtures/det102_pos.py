@@ -1,0 +1,34 @@
+# detlint: scope=sim
+"""DET102 positive: minimal reproduction of PR 6's kill-order bug.
+
+``RpcEndpoint._live_processes`` was a ``set`` of Process objects; killing
+them by iterating the set executed kills in id()-hash order, which varies
+with allocation addresses across runs.
+"""
+
+
+class Endpoint:
+    def __init__(self):
+        self._live_processes = set()  # elements are Process objects
+
+    def kill_all(self):
+        for proc in self._live_processes:  # PR 6 bug: id()-hash order
+            proc.kill()
+
+    def drain_one(self):
+        return self._live_processes.pop()  # removal in id()-hash order
+
+    def snapshot(self):
+        return list(self._live_processes)  # freezes id()-hash order
+
+
+def index_by_identity(store, obj, value):
+    store[id(obj)] = value  # identity keys order by memory address
+
+
+def sort_by_identity(objs):
+    return sorted(objs, key=id)
+
+
+def sort_by_identity_lambda(objs):
+    return sorted(objs, key=lambda o: (id(o), o))

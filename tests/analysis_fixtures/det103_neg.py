@@ -1,0 +1,21 @@
+# detlint: scope=sim
+"""DET103 negative: seeded RNG instances and sim-time reads are the pattern."""
+
+import random
+
+
+class Client:
+    def __init__(self, sim, seed):
+        self.sim = sim
+        self.rng = random.Random(seed)  # seeded constructor is fine
+
+    def think_time(self):
+        # Draws from the instance RNG, not the module-level shared one.
+        return self.rng.random() * 0.01
+
+    def now(self):
+        return self.sim.now  # simulated clock, not the wall clock
+
+
+def pick(rng: random.Random, options):
+    return options[rng.randrange(len(options))]

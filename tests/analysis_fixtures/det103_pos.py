@@ -1,0 +1,36 @@
+# detlint: scope=sim
+"""DET103 positive: wall-clock, environment and unseeded RNG reads.
+
+Minimal reproduction of the hazard class the repo bans outright: sim code
+whose behaviour is a function of anything but (spec, seed).
+"""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+from os import environ  # importing environ is itself a finding
+
+
+def stamp():
+    started = time.time()
+    mono = time.perf_counter()
+    wall = datetime.now()
+    return started, mono, wall
+
+
+def jitter():
+    return random.random() * random.randint(1, 10)
+
+
+def unseeded_instance():
+    return random.Random()  # no seed: draws from OS entropy
+
+
+def ident():
+    return uuid.uuid4(), os.getpid()
+
+
+def config():
+    return os.environ["REPRO_MODE"], os.getenv("REPRO_SCALE")

@@ -1,0 +1,24 @@
+# detlint: scope=sim
+"""DET104 negative: explicit identity tests are the sanctioned idiom."""
+
+
+class Node:
+    def __init__(self):
+        self.fault_hook = None
+        self.tracer = None
+
+    def transition(self, edge):
+        hook = self.fault_hook
+        if hook is not None:
+            hook(edge)
+
+    def record(self, event):
+        if self.tracer is None:
+            return
+        self.tracer.instant(event)
+
+    def unrelated(self, flag, items):
+        # Truthiness on non-hook names stays allowed.
+        if flag and items:
+            return items[0]
+        return None

@@ -1,0 +1,34 @@
+# detlint: scope=sim,hot-path
+"""DET105 negative: slotted classes, exceptions, and class-attr defaults."""
+
+from dataclasses import dataclass
+
+
+class PendingCall:
+    __slots__ = ("method", "args", "cancelled")
+
+    def __init__(self, method, args):
+        self.method = method
+        self.args = args
+        self.cancelled = False
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    write: bool
+    key: int
+
+
+class KernelError(Exception):
+    def __init__(self, detail):
+        super().__init__(detail)
+        self.detail = detail
+
+
+class Handle:
+    # Class-attr default pattern: __slots__ of the same name would conflict,
+    # so the advisory must stay quiet here.
+    cancelled = False
+
+    def __init__(self, token):
+        self.cancelled = bool(token)

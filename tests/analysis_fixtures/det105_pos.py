@@ -1,0 +1,17 @@
+# detlint: scope=sim,hot-path
+"""DET105 positive (advisory): hot-path classes without __slots__."""
+
+from dataclasses import dataclass
+
+
+class PendingCall:
+    def __init__(self, method, args):
+        self.method = method
+        self.args = args
+        self.cancelled = False
+
+
+@dataclass(frozen=True)
+class Op:
+    write: bool
+    key: int

@@ -1,0 +1,20 @@
+# detlint: scope=pool-crossing
+"""DET106 negative: __getstate__ dropping the memo is the sanctioned fix."""
+
+
+class Collector:
+    def __init__(self):
+        self.samples = []
+        self._cache = {}
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
+
+
+class PlainState:
+    def __init__(self):
+        # Dict-valued attrs without cache/memo names are real state.
+        self.latencies = {}
+        self.owners = {}

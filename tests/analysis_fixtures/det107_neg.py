@@ -1,0 +1,8 @@
+# detlint: scope=sim,coord-core
+"""DET107 negative: value-keyed comprehensions are fine."""
+
+
+def index(votes):
+    by_node = {v.node_id for v in votes}
+    by_key = {v.node_id: v for v in votes}
+    return by_node, by_key

@@ -1,0 +1,9 @@
+# detlint: scope=sim,coord-core
+"""DET107 positive: identity-keyed comprehensions in coordination state."""
+
+
+def index(votes):
+    by_id = {id(v): v for v in votes}
+    idents = {id(v) for v in votes}
+    literal = {id(votes): "root"}
+    return by_id, idents, literal

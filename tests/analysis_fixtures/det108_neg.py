@@ -1,0 +1,18 @@
+# detlint: scope=sim
+"""DET108 negative: Exception-narrow handlers and re-raising traps."""
+
+
+def serve_loop(endpoint):
+    while True:
+        try:
+            yield endpoint.next_request()
+        except Exception:  # GeneratorExit (BaseException) still propagates
+            continue
+
+
+def dispatcher(gen, record):
+    try:
+        yield from gen
+    except BaseException as exc:
+        record(exc)
+        raise  # bare re-raise keeps kill semantics intact

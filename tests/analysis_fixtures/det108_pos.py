@@ -1,0 +1,22 @@
+# detlint: scope=sim
+"""DET108 positive: bare except in sim coroutines.
+
+PR 6's spawned-registry bug was masked for a while by exactly this shape: a
+bare ``except:`` in a coroutine swallowed the ``GeneratorExit`` raised at
+cyclic-GC time, so the kill-order divergence surfaced far from its cause.
+"""
+
+
+def serve_loop(endpoint):
+    while True:
+        try:
+            yield endpoint.next_request()
+        except:  # swallows GeneratorExit/ProcessKilled
+            continue
+
+
+def harvest(proc):
+    try:
+        yield proc.result
+    except BaseException:  # no re-raise: same mask
+        return None

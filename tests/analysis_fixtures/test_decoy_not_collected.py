@@ -1,0 +1,15 @@
+# detlint: scope=tooling
+"""Decoy named like a test module.
+
+If pytest ever collects this directory, this file fails the run loudly,
+proving the norecursedirs/collect_ignore guards regressed.
+"""
+
+raise RuntimeError(
+    "tests/analysis_fixtures must never be collected by pytest; "
+    "check norecursedirs in pytest.ini and collect_ignore in tests/conftest.py"
+)
+
+
+def test_decoy():  # pragma: no cover - never reached
+    assert False

@@ -1,0 +1,15 @@
+# detlint: scope=sim,coord-core
+"""Waiver fixture: every violation carries a reasoned waiver -> zero gating."""
+
+import itertools
+import time
+
+_counter = itertools.count(1)  # detlint: ok(DET101) — fixture exercising waiver parsing, never imported
+
+# detlint: ok(DET103) — wall clock used only in this never-imported fixture
+_t0 = time.time()
+
+
+def index(votes):
+    # detlint: ok(DET107) — identity keys are fine here: fixture never runs
+    return {id(v): v for v in votes}

@@ -1,0 +1,9 @@
+# detlint: scope=sim
+"""Waiver-hygiene fixture: reasonless / malformed waivers must raise DET100."""
+
+import itertools
+
+_counter = itertools.count(1)  # detlint: ok(DET101)
+
+# detlint: ok(DET999) — waiver naming a rule that does not exist
+_other = itertools.count(1)  # detlint: ok(DET101) — real reason so only the unknown-rule waiver above gates

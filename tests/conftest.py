@@ -1,8 +1,26 @@
 """Shared test fixtures: small clusters, generator runners."""
 
+import itertools
+
 import pytest
 
 from repro.cluster import Cluster, ClusterConfig
+from repro.engine.txn import TxnContext
+
+# Belt and braces with pytest.ini's norecursedirs: the detlint fixture
+# snippets (including a decoy test_*.py that raises on import) must never be
+# collected, even when a path under tests/ is passed explicitly.
+collect_ignore = ["analysis_fixtures"]
+
+#: Test-side txn seq allocator.  TxnContext has no process-global fallback
+#: counter (detlint DET101 — PR 7's trace-identity leak), so bare unit-test
+#: construction allocates seqs here, mirroring ComputeNode.next_txn_seq().
+_txn_seqs = itertools.count(1)
+
+
+def make_txn_ctx(node_id, **kwargs):
+    """A bare TxnContext with a unique test-allocated seq."""
+    return TxnContext(node_id, seq=next(_txn_seqs), **kwargs)
 
 
 def make_cluster(

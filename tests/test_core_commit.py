@@ -10,11 +10,10 @@ from repro.core.commit import (
     terminate_in_doubt,
 )
 from repro.engine.node import GTABLE, SYSLOG, glog_name
-from repro.engine.txn import TxnContext
+
 from repro.sim.core import Simulator
 from repro.storage.log import Put, RecordKind
-from tests.conftest import make_cluster, run_gen
-
+from tests.conftest import make_cluster, make_txn_ctx, run_gen
 
 @pytest.fixture
 def pair():
@@ -22,11 +21,9 @@ def pair():
     cluster.run(until=0.05)
     return cluster
 
-
 def glog_of(cluster, node_id):
     node = cluster.nodes[node_id]
     return cluster.storages[node.region].log(node.glog)
-
 
 class TestGatherVotes:
     def test_collects_bools(self):
@@ -50,11 +47,10 @@ class TestGatherVotes:
         sim = Simulator()
         assert sim.run_until(gather_votes(sim, [])) == []
 
-
 class TestOnePhase:
     def test_commit_to_own_glog(self, pair):
         node = pair.nodes[0]
-        ctx = TxnContext(0, name="test")
+        ctx = make_txn_ctx(0, name="test")
         ctx.write(node.glog, "usertable", 1, "v")
         committed = run_gen(
             pair, marlin_commit(node, ctx, [NodeParticipant(0)])
@@ -66,7 +62,7 @@ class TestOnePhase:
 
     def test_commit_to_log_participant(self, pair):
         node = pair.nodes[0]
-        ctx = TxnContext(0, name="test")
+        ctx = make_txn_ctx(0, name="test")
         entries = (Put("mtable", 9, "node-9"),)
         committed = run_gen(
             pair, marlin_commit(node, ctx, [LogParticipant(SYSLOG, entries)])
@@ -78,7 +74,7 @@ class TestOnePhase:
     def test_cas_conflict_aborts(self, pair):
         node = pair.nodes[0]
         glog_of(pair, 0).append("intruder", RecordKind.COMMIT_DATA, ())
-        ctx = TxnContext(0, name="test")
+        ctx = make_txn_ctx(0, name="test")
         ctx.write(node.glog, "usertable", 1, "v")
         committed = run_gen(pair, marlin_commit(node, ctx, [NodeParticipant(0)]))
         assert not committed
@@ -88,21 +84,20 @@ class TestOnePhase:
 
     def test_remote_node_1pc_rejected(self, pair):
         node = pair.nodes[0]
-        ctx = TxnContext(0)
+        ctx = make_txn_ctx(0)
         with pytest.raises(ValueError):
             run_gen(pair, marlin_commit(node, ctx, [NodeParticipant(1)]))
 
     def test_no_participants_rejected(self, pair):
         node = pair.nodes[0]
         with pytest.raises(ValueError):
-            run_gen(pair, marlin_commit(node, TxnContext(0), []))
-
+            run_gen(pair, marlin_commit(node, make_txn_ctx(0), []))
 
 class TestTwoPhase:
     def _stage_remote(self, pair, coordinator_ctx, remote_id, granule=30):
         """Stage a branch on the remote node as migr_prepare would."""
         remote = pair.nodes[remote_id]
-        branch = TxnContext(remote_id)
+        branch = make_txn_ctx(remote_id)
         branch.txn_id = coordinator_ctx.txn_id
         branch.write(remote.glog, GTABLE, granule, 0)
         remote.txns[branch.txn_id] = branch
@@ -110,7 +105,7 @@ class TestTwoPhase:
 
     def test_two_node_commit(self, pair):
         node = pair.nodes[0]
-        ctx = TxnContext(0, name="xfer")
+        ctx = make_txn_ctx(0, name="xfer")
         ctx.write(node.glog, GTABLE, 30, 0)
         self._stage_remote(pair, ctx, 1)
         committed = run_gen(
@@ -126,7 +121,7 @@ class TestTwoPhase:
 
     def test_vote_records_carry_participants(self, pair):
         node = pair.nodes[0]
-        ctx = TxnContext(0)
+        ctx = make_txn_ctx(0)
         ctx.write(node.glog, GTABLE, 30, 0)
         self._stage_remote(pair, ctx, 1)
         run_gen(pair, marlin_commit(node, ctx, [NodeParticipant(1), NodeParticipant(0)]))
@@ -139,7 +134,7 @@ class TestTwoPhase:
     def test_unstaged_remote_votes_no(self, pair):
         """A participant with no staged branch (crashed/restarted) votes no."""
         node = pair.nodes[0]
-        ctx = TxnContext(0)
+        ctx = make_txn_ctx(0)
         ctx.write(node.glog, GTABLE, 30, 0)
         committed = run_gen(
             pair, marlin_commit(node, ctx, [NodeParticipant(1), NodeParticipant(0)])
@@ -154,7 +149,7 @@ class TestTwoPhase:
 
     def test_frozen_participant_times_out_and_aborts(self, pair):
         node = pair.nodes[0]
-        ctx = TxnContext(0)
+        ctx = make_txn_ctx(0)
         ctx.write(node.glog, GTABLE, 30, 0)
         self._stage_remote(pair, ctx, 1)
         pair.nodes[1].freeze()
@@ -171,7 +166,7 @@ class TestTwoPhase:
         src_log = glog_name(1)
         end = glog_of(pair, 1).end_lsn
         node.lsn_tracker[src_log] = end
-        ctx = TxnContext(0, name="recovery")
+        ctx = make_txn_ctx(0, name="recovery")
         ctx.write(node.glog, GTABLE, 30, 0)
         entries = (Put(GTABLE, 30, 0),)
         committed = run_gen(
@@ -194,7 +189,7 @@ class TestTwoPhase:
         src_log = glog_name(1)
         node.lsn_tracker[src_log] = glog_of(pair, 1).end_lsn
         glog_of(pair, 1).append("concurrent", RecordKind.COMMIT_DATA, ())
-        ctx = TxnContext(0, name="recovery")
+        ctx = make_txn_ctx(0, name="recovery")
         ctx.write(node.glog, GTABLE, 30, 0)
         committed = run_gen(
             pair,
@@ -203,7 +198,6 @@ class TestTwoPhase:
             ),
         )
         assert not committed
-
 
 class TestTermination:
     def test_resolves_commit_from_decision(self, pair):

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.engine.node import GTABLE, MTABLE, SYSLOG, TxnOp, TxnSpec, glog_name
-from repro.engine.txn import AbortReason, TxnAborted, TxnContext, WrongNodeError
+from repro.engine.txn import AbortReason, TxnAborted, WrongNodeError
 from repro.sim.rpc import RemoteError
 from repro.storage.log import Put, RecordKind
-from tests.conftest import make_cluster, run_gen
+from tests.conftest import make_cluster, make_txn_ctx, run_gen
 
 
 @pytest.fixture
@@ -26,14 +26,14 @@ def user_spec(cluster, node_id, write=True, count=4):
 class TestCheckOwnership:
     def test_owned_granule_passes(self, pair):
         node = pair.nodes[0]
-        ctx = TxnContext(0)
+        ctx = make_txn_ctx(0)
         granule = node.owned_granules()[0]
         node.runtime.check_ownership(ctx, granule)
         assert ctx.txn_id in node.locks.holders((GTABLE, granule))
 
     def test_foreign_granule_raises_with_hint(self, pair):
         node = pair.nodes[0]
-        ctx = TxnContext(0)
+        ctx = make_txn_ctx(0)
         foreign = pair.nodes[1].owned_granules()[0]
         with pytest.raises(WrongNodeError) as excinfo:
             node.runtime.check_ownership(ctx, foreign)
@@ -43,7 +43,7 @@ class TestCheckOwnership:
         node = pair.nodes[0]
         granule = node.owned_granules()[0]
         node.locks.acquire("migr", (GTABLE, granule), True)
-        ctx = TxnContext(0)
+        ctx = make_txn_ctx(0)
         with pytest.raises(TxnAborted) as excinfo:
             node.runtime.check_ownership(ctx, granule)
         assert excinfo.value.reason is AbortReason.LOCK_CONFLICT
