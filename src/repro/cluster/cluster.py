@@ -17,8 +17,9 @@ from repro.cluster.cost import CostModel
 from repro.cluster.metrics import MetricsCollector
 from repro.coord.external import ExternalRuntime, FdbClient, ZkClient
 from repro.coord.fdb import FdbService
+from repro.coord.lease import LeaseClient, LeaseService, lease_path
 from repro.coord.zookeeper import ZooKeeperService
-from repro.core.failure import RingFailureDetector
+from repro.core.failure import LeaseFailureDetector, RingFailureDetector
 from repro.core.runtime import MarlinRuntime
 from repro.engine.granule import GranuleMap, contiguous_assignment, rebalance_plan
 from repro.engine.node import (
@@ -83,13 +84,20 @@ class Cluster:
                 self.sim, self.network, config.fdb_config,
                 address="fdb", region=config.home_region,
             )
+        elif config.coordination == "lease":
+            self.service = LeaseService(
+                self.sim, self.network, config.lease_config,
+                address="lease", region=config.home_region,
+            )
 
         self.admin = RpcEndpoint(self.sim, self.network, "admin", config.home_region)
         self.nodes: Dict[int, ComputeNode] = {}
-        self.detectors: Dict[int, RingFailureDetector] = {}
+        #: node id -> its failure detector (RingFailureDetector or
+        #: LeaseFailureDetector, by coordination mode).
+        self.detectors: Dict[int, object] = {}
         #: Every detector ever started (fail_node pops ``detectors``; the
         #: always-on pipeline counters must survive that for aggregation).
-        self._all_detectors: List[RingFailureDetector] = []
+        self._all_detectors: List[object] = []
         #: Optional :class:`repro.obs.Tracer`; install via ``attach_tracer``.
         self.tracer = None
         self._chaos = None
@@ -116,6 +124,11 @@ class Cluster:
             fdb = self.config.fdb_config
             return ExternalRuntime(
                 FdbClient("fdb", fdb.client_overhead, fdb.session_pool)
+            )
+        if kind == "lease":
+            lease = self.config.lease_config
+            return ExternalRuntime(
+                LeaseClient("lease", lease.client_overhead, lease.session_pool)
             )
         zk = self.config.zk_config
         return ExternalRuntime(ZkClient("zk", zk.client_overhead, zk.session_pool))
@@ -189,8 +202,15 @@ class Cluster:
                 self.service.data[f"/members/{nid}"] = node_address(nid)
             for granule, owner in assignment.items():
                 self.service.data[f"/granules/{granule}"] = owner
+        if config.coordination == "lease":
+            # Seed every node's granule-group lease as held at t=0 (one TTL
+            # of grace before the renew loops take over).
+            for nid in node_ids:
+                self.service.table.leases[lease_path(nid)] = (
+                    nid, config.lease_config.ttl
+                )
 
-        if config.failure_detection and config.coordination == "marlin":
+        if config.failure_detection:
             for nid in node_ids:
                 self._start_detector(nid)
 
@@ -198,13 +218,36 @@ class Cluster:
         self.metrics.record_node_count(0.0, len(node_ids))
 
     def _start_detector(self, node_id: int) -> None:
-        detector = RingFailureDetector(
-            self.nodes[node_id].runtime,
-            interval=self.config.detector_interval,
-            timeout=self.config.detector_timeout,
-            miss_threshold=self.config.detector_misses,
-            vote_gate=self.config.detector_vote_gate,
-        )
+        """Per-mode failure detection: Marlin's vote-gated ring; zk/fdb the
+        same ring confirmed against the service session; lease mode TTL
+        expiry + CAS self-promotion (no peer probes at all)."""
+        config = self.config
+        runtime = self.nodes[node_id].runtime
+        if config.coordination == "marlin":
+            detector = RingFailureDetector(
+                runtime,
+                interval=config.detector_interval,
+                timeout=config.detector_timeout,
+                miss_threshold=config.detector_misses,
+                vote_gate=config.detector_vote_gate,
+            )
+        elif config.coordination == "lease":
+            detector = LeaseFailureDetector(
+                runtime,
+                ttl=config.lease_config.ttl,
+                renew_interval=config.lease_config.renew_interval,
+                check_interval=config.detector_interval,
+            )
+        else:
+            detector = RingFailureDetector(
+                runtime,
+                interval=config.detector_interval,
+                timeout=config.detector_timeout,
+                miss_threshold=config.detector_misses,
+                vote_gate=False,
+                session_gate=self.service.address,
+                session_timeout=config.detector_misses * config.detector_interval,
+            )
         detector.start()
         self.detectors[node_id] = detector
         self._all_detectors.append(detector)
@@ -228,24 +271,36 @@ class Cluster:
         for node in self.nodes.values():
             self._trace_node(node)
 
-    def failure_detection_stats(self) -> Dict[str, int]:
+    def failure_detection_stats(self) -> Dict[str, object]:
         """Aggregate the always-on detector pipeline counters.
 
         Sums over every detector ever started (including ones since popped
-        by ``fail_node`` / ``scale_in``): suspicions raised, vote-gate
-        stand-downs (rejections), failovers started and fencings committed.
+        by ``fail_node`` / ``scale_in``): suspicions raised, gate
+        stand-downs (rejections), failovers started, fencings committed,
+        and the liveness-maintenance traffic (``renewal_rpcs``: ring
+        heartbeats + session pings, or lease renews/acquires/scans).
+        ``first_failover_s`` is the sim time the earliest confirmed
+        failover began, or None if none did — detection latency is
+        ``first_failover_s`` minus the fault's injection time.
         """
         stats = {
             "suspicions_raised": 0,
             "stand_downs": 0,
             "failovers_started": 0,
             "fencings_committed": 0,
+            "renewal_rpcs": 0,
         }
+        first: Optional[float] = None
         for detector in self._all_detectors:
             stats["suspicions_raised"] += detector.suspicions_raised
             stats["stand_downs"] += detector.stand_downs
             stats["failovers_started"] += detector.failovers_started
             stats["fencings_committed"] += detector.fencings_committed
+            stats["renewal_rpcs"] += detector.renewal_rpcs
+            started = detector.first_failover_at
+            if started is not None and (first is None or started < first):
+                first = started
+        stats["first_failover_s"] = first
         return stats
 
     # -- introspection ---------------------------------------------------------------
@@ -313,7 +368,7 @@ class Cluster:
                 node.runtime.broadcast_sys_update(
                     [Put(MTABLE, node_id, node.address)]
                 )
-            if self.config.failure_detection and self.config.coordination == "marlin":
+            if self.config.failure_detection:
                 self._start_detector(node_id)
         self.metrics.record_node_count(self.sim.now, len(self.live_node_ids()))
 
@@ -452,6 +507,12 @@ class Cluster:
             self.recovery_reports.append(report)
         yield from node.runtime.handle_cas_failure(node.glog)
         yield from node.runtime.handle_cas_failure(SYSLOG)
+        # External runtimes re-scan the service's authoritative views here
+        # (a no-op for Marlin, whose CAS replay above already caught up):
+        # a failover that completed while we were down moved our granules,
+        # and both the stale ownership map and the membership test below
+        # must reflect that.
+        yield from node.runtime.refresh_views()
         if node_id in node.mtable:
             ok = True  # still a member: nobody fenced us while we were down
         else:
@@ -463,7 +524,6 @@ class Cluster:
         if (
             ok
             and self.config.failure_detection
-            and self.config.coordination == "marlin"
             and node_id not in self.detectors
         ):
             self._start_detector(node_id)

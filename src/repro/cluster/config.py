@@ -11,6 +11,7 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 from repro.coord.fdb import FDB_DEFAULT, FdbConfig
+from repro.coord.lease import LEASE_DEFAULT, LeaseConfig
 from repro.coord.zookeeper import ZK_LARGE, ZK_SMALL, ZkConfig
 from repro.engine.node import NodeParams
 
@@ -37,8 +38,9 @@ class VmSpec:
 D4S_V3 = VmSpec("Standard_D4s_v3", 4, 16, 2, 0.192)
 D8S_V3 = VmSpec("Standard_D8s_v3", 8, 32, 4, 0.384)
 
-#: The four mechanisms compared throughout §6.
-COORDINATION_KINDS = ("marlin", "zk-small", "zk-large", "fdb")
+#: The coordination mechanisms: the paper's §6 comparison (marlin, the two
+#: ZooKeeper flavors, FDB) plus the lease/TTL backend (K8s Lease API style).
+COORDINATION_KINDS = ("marlin", "zk-small", "zk-large", "fdb", "lease")
 
 
 @dataclass
@@ -57,7 +59,11 @@ class ClusterConfig:
     node_params: NodeParams = field(default_factory=NodeParams)
     zk_config: Optional[ZkConfig] = None
     fdb_config: FdbConfig = FDB_DEFAULT
-    #: Ring failure detection (Marlin only; §4.4.2).
+    lease_config: LeaseConfig = LEASE_DEFAULT
+    #: Failure detection, in every coordination mode: Marlin's ring detector
+    #: with the SysLog vote gate (§4.4.2); zk/fdb the same ring detector
+    #: confirmed against the service session; lease mode TTL expiry +
+    #: CAS self-promotion (no peer probes).
     failure_detection: bool = False
     detector_interval: float = 0.5
     detector_timeout: float = 0.25
@@ -98,6 +104,8 @@ class ClusterConfig:
             return 0.0
         if self.coordination == "fdb":
             return self.fdb_config.hourly_cost
+        if self.coordination == "lease":
+            return self.lease_config.hourly_cost
         return self.zk_config.hourly_cost
 
     def with_(self, **kwargs) -> "ClusterConfig":

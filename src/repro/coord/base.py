@@ -86,6 +86,17 @@ class CoordinationRuntime(abc.ABC):
         return None
         yield  # pragma: no cover - makes this a generator
 
+    def refresh_views(self) -> Generator:
+        """Re-fetch authoritative membership/ownership views on restart.
+
+        Default: nothing to refresh — Marlin's CAS-failure replay already
+        folds the shared log into the system tables.  External runtimes
+        override this to re-scan the coordination service so a restarted
+        node does not serve granules a failover moved while it was down.
+        """
+        return None
+        yield  # pragma: no cover - makes this a generator
+
     # -- bookkeeping ------------------------------------------------------------
 
     @abc.abstractmethod

@@ -194,6 +194,7 @@ class ExternalRuntime(CoordinationRuntime):
     def attach(self, node) -> None:
         super().attach(node)
         node.endpoint.register("migr_prepare", self._h_migr_prepare)
+        node.endpoint.register("view_update", self._h_view_update)
         # Each node owns its WAL exclusively under external coordination:
         # appends are unconditional (the service, not CAS, fences failures).
         node.wal_conditional = False
@@ -253,6 +254,26 @@ class ExternalRuntime(CoordinationRuntime):
     def handle_cas_failure(self, log_name: str) -> Generator:
         return
         yield  # pragma: no cover - generator shape, never reached
+
+    def _h_view_update(self, entries):
+        """One-way cache-sync cast from a recovering peer (the external
+        analogue of Marlin's sys-update broadcast / ZK watch event)."""
+        self.node.apply_system_entries(list(entries))
+        return True
+
+    def refresh_views(self) -> Generator:
+        """Replace this node's membership/ownership caches with the
+        service's authoritative view.  Run on restart, *before* the rejoin
+        decision: a failover that completed while this node was down moved
+        its granules, and serving the stale map would double-own them."""
+        node = self.node
+        members = yield from self.client.scan_members(node)
+        ownership = yield from self.client.scan_ownership(node)
+        node.mtable.clear()
+        node.mtable.update(members)
+        node.gtable.clear()
+        node.gtable.update(ownership)
+        return True
 
     def recover(self) -> Generator:
         """Same WAL-scan recovery pass as Marlin: the journal vocabulary

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.coord.session import ServiceSessionMixin
 from repro.sim.core import Simulator, Timeout
 from repro.sim.network import Network
 from repro.sim.resources import CpuResource
@@ -57,7 +58,7 @@ FDB_DEFAULT = FdbConfig(
 )
 
 
-class FdbService:
+class FdbService(ServiceSessionMixin):
     """Sequencer + sharded commit pipelines behind one RPC address."""
 
     def __init__(
@@ -90,6 +91,7 @@ class FdbService:
             ("fdb_scan", self._h_scan),
         ):
             self.endpoint.register(method, handler)
+        self._init_sessions()
 
     @property
     def hourly_cost(self) -> float:

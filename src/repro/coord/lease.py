@@ -1,0 +1,347 @@
+"""Lease/TTL coordination backend (K8s Lease API style).
+
+The fourth coordination mode, alongside Marlin's integrated system tables
+and the ZooKeeper-/FDB-like services: coordination state lives in a small
+replicated KV service (same single-leader quorum cost model as ZooKeeper),
+and *liveness* is arbitrated by **TTL leases**.  Every compute node holds a
+lease on its own granule group and renews it on a seeded interval; when a
+node dies its renewals stop, the lease expires, and a successor
+self-promotes by acquiring the expired lease (a CAS at the service — the
+service grants an expired lease to exactly one claimant) and driving
+``ExternalRuntime.recover_granules``.  This is the operator-less
+sidecar-election pattern from the Kubernetes Lease API: failover latency is
+bounded by ``ttl + check_interval``, paid for with continuous renewal
+traffic — the detection-latency/renewal-traffic trade-off fig7 sweeps.
+
+Three layers, separable for testing:
+
+* :class:`LeaseTable` — the pure lease state machine (no simulator): grant /
+  renew / release against explicit ``now`` timestamps.  The hypothesis
+  property tests in ``tests/test_coord_lease.py`` drive this directly
+  against a reference model.
+* :class:`LeaseService` — the RPC actor: a ZooKeeper-shaped quorum store
+  (serialized leader pipeline, quorum delay per write) that owns one
+  LeaseTable plus a plain KV namespace for membership/ownership state.
+* :class:`LeaseClient` — the node-side session client; carries the same
+  surface as ``ZkClient`` so the unmodified :class:`ExternalRuntime` drives
+  the data/reconfiguration path, plus the lease verbs the
+  :class:`repro.core.failure.LeaseFailureDetector` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.coord.external import _MEMBER_PREFIX, _OWNER_PREFIX, _ServiceClient
+from repro.sim.core import Simulator, Timeout
+from repro.sim.network import Network
+from repro.sim.resources import CpuResource
+from repro.sim.rpc import RpcEndpoint
+
+__all__ = [
+    "LEASE_DEFAULT",
+    "LEASE_PREFIX",
+    "LeaseClient",
+    "LeaseConfig",
+    "LeaseService",
+    "LeaseTable",
+    "lease_path",
+]
+
+#: Namespace for per-node granule-group leases in the service keyspace.
+LEASE_PREFIX = "/lease/"
+
+
+def lease_path(node_id: int) -> str:
+    """The lease name guarding ``node_id``'s granule group."""
+    return f"{LEASE_PREFIX}{node_id}"
+
+
+@dataclass(frozen=True)
+class LeaseConfig:
+    """Deployment flavor + lease tunables for the lease backend."""
+
+    name: str = "lease"
+    #: Lease time-to-live: a holder that misses renewals for this long is
+    #: considered dead and its lease becomes acquirable.  The dominant term
+    #: in detection latency.
+    ttl: float = 1.5
+    #: Seeded renewal period per holder.  Renewal traffic is
+    #: ``members / renew_interval`` RPCs per second; ttl/renew_interval is
+    #: the number of missed renewals tolerated before expiry (here 3).
+    renew_interval: float = 0.5
+    #: Leader ordering-pipeline service time per write (same quorum store
+    #: shape as ZooKeeper; leases are small so writes are cheap).
+    write_service: float = 0.005
+    read_service: float = 100e-6
+    fsync: float = 800e-6
+    #: Whole-cluster (3 VM) hourly cost — same hardware class as S-ZK.
+    hourly_cost: float = 0.597
+    #: Client-side per-request session cost.  Lease records are tiny
+    #: (holder + expiry), cheaper to encode than znodes.
+    client_overhead: float = 0.020
+    session_pool: int = 2
+    servers: int = 3
+
+
+LEASE_DEFAULT = LeaseConfig()
+
+
+class LeaseTable:
+    """The pure lease state machine: ``name -> (holder, expires)``.
+
+    No simulator dependency — every transition takes an explicit ``now`` so
+    the semantics are property-testable in isolation.  Invariant (enforced
+    here, asserted against a reference model in tests): at any instant a
+    lease has at most one holder whose grant has not expired, and an
+    expired lease is granted to exactly the first claimant to CAS it.
+    """
+
+    def __init__(self):
+        self.leases: Dict[str, Tuple[int, float]] = {}
+
+    def acquire(
+        self, name: str, holder: int, ttl: float, now: float
+    ) -> Tuple[bool, int, float]:
+        """Try to take ``name``.  Granted iff the lease is absent, expired,
+        or already held by ``holder`` (re-acquire refreshes the expiry).
+        Returns ``(granted, current_holder, current_expires)``."""
+        current = self.leases.get(name)
+        if current is not None:
+            cur_holder, expires = current
+            if cur_holder != holder and expires > now:
+                return False, cur_holder, expires
+        self.leases[name] = (holder, now + ttl)
+        return True, holder, now + ttl
+
+    def renew(
+        self, name: str, holder: int, ttl: float, now: float
+    ) -> Tuple[bool, Optional[int]]:
+        """Extend ``name`` iff ``holder`` still holds it.  An expired but
+        unclaimed lease renews successfully (the holder won the race back);
+        a lease taken over by a successor rejects — that rejection is how a
+        fenced-but-alive holder learns to stand down."""
+        current = self.leases.get(name)
+        if current is None or current[0] != holder:
+            return False, current[0] if current else None
+        self.leases[name] = (holder, now + ttl)
+        return True, holder
+
+    def release(self, name: str, holder: int) -> bool:
+        """Drop ``name`` iff ``holder`` holds it (e.g. after failover the
+        successor retires the dead node's lease)."""
+        current = self.leases.get(name)
+        if current is None or current[0] != holder:
+            return False
+        del self.leases[name]
+        return True
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Tuple[int, float]]:
+        """Point-in-time copy of every lease under ``prefix``."""
+        return {
+            name: entry for name, entry in self.leases.items()
+            if name.startswith(prefix)
+        }
+
+
+class LeaseService:
+    """The lease coordination service actor (leader + implicit followers).
+
+    Same quorum-store cost model as :class:`ZooKeeperService` — serialized
+    leader pipeline per write, one follower round trip plus fsync — with a
+    :class:`LeaseTable` for the lease namespace and a plain KV map for
+    membership/ownership (so ``Cluster`` bootstrap seeding and the generic
+    ``ZkClient``-shaped data path work unchanged).  Lease expiry is judged
+    lazily against ``sim.now`` when a request is applied: there is no
+    background expiry sweep, so a fault-free run costs no extra events and
+    replays bit-identically.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: LeaseConfig = LEASE_DEFAULT,
+        address: str = "lease",
+        region: str = "us-west",
+    ):
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.address = address
+        self.region = region
+        self.endpoint = RpcEndpoint(sim, network, address, region)
+        #: The leader's serialized ordering pipeline (writes + lease CAS).
+        self.pipeline = CpuResource(sim, 1, name=f"{address}-leader")
+        self.data: Dict[str, object] = {}
+        self.version: Dict[str, int] = {}
+        self.table = LeaseTable()
+        self.writes_served = 0
+        self.reads_served = 0
+        self.renews_served = 0
+        self.acquires_granted = 0
+        self.acquires_rejected = 0
+        for method, handler in (
+            ("lease_write", self._h_write),
+            ("lease_delete", self._h_delete),
+            ("lease_read", self._h_read),
+            ("lease_scan", self._h_scan),
+            ("lease_acquire", self._h_acquire),
+            ("lease_renew", self._h_renew),
+            ("lease_release", self._h_release),
+            ("lease_table", self._h_table),
+        ):
+            self.endpoint.register(method, handler)
+
+    @property
+    def hourly_cost(self) -> float:
+        return self.config.hourly_cost
+
+    def _quorum_delay(self) -> float:
+        """One follower round trip plus follower+leader fsync overlap."""
+        rtt = 2 * self.network.latency.intra
+        return rtt + self.config.fsync
+
+    # -- plain KV (membership / granule ownership) -----------------------------
+
+    def _h_write(self, path: str, value):
+        yield from self.pipeline.run(self.config.write_service)
+        yield Timeout(self._quorum_delay())
+        self.data[path] = value
+        self.version[path] = self.version.get(path, 0) + 1
+        self.writes_served += 1
+        return self.version[path]
+
+    def _h_delete(self, path: str):
+        yield from self.pipeline.run(self.config.write_service)
+        yield Timeout(self._quorum_delay())
+        existed = path in self.data
+        self.data.pop(path, None)
+        self.writes_served += 1
+        return existed
+
+    def _h_read(self, path: str):
+        yield Timeout(self.config.read_service)
+        self.reads_served += 1
+        return self.data.get(path)
+
+    def _h_scan(self, prefix: str):
+        yield Timeout(self.config.read_service * 4)
+        self.reads_served += 1
+        return {
+            path: value for path, value in self.data.items()
+            if path.startswith(prefix)
+        }
+
+    # -- lease verbs -----------------------------------------------------------
+
+    def _h_acquire(self, name: str, holder: int, ttl: float):
+        """CAS-acquire: the leader pipeline serializes claimants, so when a
+        lease expires exactly one racer observes it expired and wins; the
+        rest see the winner's fresh grant and are rejected.  Expiry is
+        judged at apply time (post quorum delay), the authoritative order."""
+        yield from self.pipeline.run(self.config.write_service)
+        yield Timeout(self._quorum_delay())
+        granted, cur_holder, expires = self.table.acquire(
+            name, holder, ttl, self.sim.now
+        )
+        self.writes_served += 1
+        if granted:
+            self.acquires_granted += 1
+        else:
+            self.acquires_rejected += 1
+        return granted, cur_holder, expires
+
+    def _h_renew(self, name: str, holder: int, ttl: float):
+        yield from self.pipeline.run(self.config.write_service)
+        yield Timeout(self._quorum_delay())
+        ok, cur_holder = self.table.renew(name, holder, ttl, self.sim.now)
+        self.writes_served += 1
+        self.renews_served += 1
+        return ok, cur_holder
+
+    def _h_release(self, name: str, holder: int):
+        yield from self.pipeline.run(self.config.write_service)
+        yield Timeout(self._quorum_delay())
+        released = self.table.release(name, holder)
+        self.writes_served += 1
+        return released
+
+    def _h_table(self, prefix: str):
+        """Read-only lease snapshot (the monitors' expiry-check scan)."""
+        yield Timeout(self.config.read_service * 4)
+        self.reads_served += 1
+        return self.table.snapshot(prefix)
+
+
+class LeaseClient(_ServiceClient):
+    """Node-side client for the lease service.
+
+    Carries the ``ZkClient`` surface (ownership/membership over the KV
+    namespace) so the plain :class:`ExternalRuntime` runs the data and
+    reconfiguration paths unchanged, plus the lease verbs the lease failure
+    detector drives.  Request plumbing (bounded timeout, linear-backoff
+    retry) is inherited from :class:`_ServiceClient`.
+    """
+
+    kind = "lease"
+
+    def __init__(
+        self,
+        service_address: str = "lease",
+        client_overhead: float = 0.0,
+        session_pool: int = 2,
+        **kwargs,
+    ):
+        super().__init__(
+            service_address, client_overhead, session_pool, **kwargs
+        )
+
+    # -- ZkClient-shaped data/reconfig surface ---------------------------------
+
+    def update_ownership(self, node, granule: int, owner: int) -> Generator:
+        version = yield from self._request(
+            node, "lease_write", f"{_OWNER_PREFIX}{granule}", owner
+        )
+        return version
+
+    def register_member(self, node, node_id: int, address: str) -> Generator:
+        yield from self._request(
+            node, "lease_write", f"{_MEMBER_PREFIX}{node_id}", address
+        )
+        return True
+
+    def unregister_member(self, node, node_id: int) -> Generator:
+        yield from self._request(node, "lease_delete", f"{_MEMBER_PREFIX}{node_id}")
+        return True
+
+    def scan_ownership(self, node) -> Generator:
+        raw = yield from self._request(node, "lease_scan", _OWNER_PREFIX)
+        return {
+            int(path[len(_OWNER_PREFIX):]): owner for path, owner in raw.items()
+        }
+
+    def scan_members(self, node) -> Generator:
+        raw = yield from self._request(node, "lease_scan", _MEMBER_PREFIX)
+        return {
+            int(path[len(_MEMBER_PREFIX):]): addr for path, addr in raw.items()
+        }
+
+    # -- lease verbs -----------------------------------------------------------
+
+    def acquire_lease(self, node, name: str, holder: int, ttl: float) -> Generator:
+        result = yield from self._request(node, "lease_acquire", name, holder, ttl)
+        return result
+
+    def renew_lease(self, node, name: str, holder: int, ttl: float) -> Generator:
+        result = yield from self._request(node, "lease_renew", name, holder, ttl)
+        return result
+
+    def release_lease(self, node, name: str, holder: int) -> Generator:
+        result = yield from self._request(node, "lease_release", name, holder)
+        return result
+
+    def lease_table(self, node, prefix: str = LEASE_PREFIX) -> Generator:
+        result = yield from self._request(node, "lease_table", prefix)
+        return result

@@ -1,0 +1,55 @@
+"""Service-session liveness for the external coordination services.
+
+Real ZooKeeper clients hold a *session* the service expires when heartbeats
+stop; ephemeral znodes (and with them, leadership) vanish with the session.
+FDB clients similarly keep a connection the cluster controller tracks.  The
+simulated services model the liveness half of that: every compute node's
+ring detector pings the service each probe round (``sess_ping``), and a
+monitor that suspects a peer asks the service how stale that peer's session
+is (``sess_check``) before fencing.
+
+This is the baselines' analogue of Marlin's SysLog suspicion vote: a node
+partitioned from its peers but *not* from the service keeps a fresh session,
+so peer monitors stand down and there is no mutual fencing — matching real
+ZK, where an isolated-but-sessioned leader keeps its ephemeral nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.core import Timeout
+
+__all__ = ["ServiceSessionMixin"]
+
+
+class ServiceSessionMixin:
+    """Session-liveness handlers mixed into the external service actors.
+
+    The host class must provide ``self.sim``, ``self.endpoint`` and a config
+    with ``read_service``; it calls :meth:`_init_sessions` at the end of its
+    ``__init__``.
+    """
+
+    def _init_sessions(self) -> None:
+        self._last_seen: Dict[int, float] = {}
+        self.pings_served = 0
+        # sess_ping is a plain (non-generator) handler: a ping costs the
+        # network round trip only, like a TCP keepalive the service absorbs.
+        self.endpoint.register("sess_ping", self._h_sess_ping)
+        self.endpoint.register("sess_check", self._h_sess_check)
+
+    def _h_sess_ping(self, node_id: int) -> bool:
+        self._last_seen[node_id] = self.sim.now
+        self.pings_served += 1
+        return True
+
+    def _h_sess_check(self, node_id: int):
+        """Age of ``node_id``'s session: seconds since its last ping, or
+        ``None`` if the node never pinged (no session — treat as expired)."""
+        yield Timeout(self.config.read_service)
+        self.reads_served += 1
+        last: Optional[float] = self._last_seen.get(node_id)
+        if last is None:
+            return None
+        return self.sim.now - last

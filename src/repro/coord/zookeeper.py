@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.coord.session import ServiceSessionMixin
 from repro.sim.core import Simulator, Timeout
 from repro.sim.network import Network
 from repro.sim.resources import CpuResource
@@ -61,7 +62,7 @@ ZK_LARGE = ZkConfig(
 )
 
 
-class ZooKeeperService:
+class ZooKeeperService(ServiceSessionMixin):
     """The external coordination service actor (leader + implicit followers)."""
 
     def __init__(
@@ -94,6 +95,7 @@ class ZooKeeperService:
             ("zk_multi", self._h_multi),
         ):
             self.endpoint.register(method, handler)
+        self._init_sessions()
 
     @property
     def hourly_cost(self) -> float:

@@ -16,19 +16,25 @@ monitor initiates failover:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, List, Set
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set
 
 from repro.core.reconfig import NodeNotExistError
-from repro.engine.node import GTABLE, MTABLE, SYSLOG, glog_name
+from repro.engine.node import GTABLE, MTABLE, SYSLOG, glog_name, node_address
 from repro.engine.txn import TxnAborted
 from repro.sim.core import Timeout
 from repro.sim.rpc import RpcError, RpcTimeout
 from repro.storage.log import Delete, Put
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.coord.external import ExternalRuntime
     from repro.core.runtime import MarlinRuntime
 
-__all__ = ["RingFailureDetector", "run_failover"]
+__all__ = [
+    "LeaseFailureDetector",
+    "RingFailureDetector",
+    "run_external_failover",
+    "run_failover",
+]
 
 
 def run_failover(runtime: "MarlinRuntime", dead_id: int) -> Generator:
@@ -63,6 +69,38 @@ def run_failover(runtime: "MarlinRuntime", dead_id: int) -> Generator:
     return taken
 
 
+def run_external_failover(runtime: "ExternalRuntime", dead_id: int) -> Generator:
+    """Failover of ``dead_id`` arbitrated through the external service.
+
+    The baselines' counterpart of :func:`run_failover`: the authoritative
+    granule map lives in the coordination service, so the recoverer scans it
+    there, flips each of the dead node's entries with
+    ``ExternalRuntime.recover_granules`` (service CAS per granule — which is
+    also what fences a merely-slow owner), and unregisters the dead member.
+    The closing one-way ``view_update`` casts are the watch-notification
+    analogue: cache sync for the survivors, not required for correctness.
+    Returns the list of granules this node took over.
+    """
+    node = runtime.node
+    members = yield from runtime.client.scan_members(node)
+    if dead_id not in members:
+        return []  # a concurrent recoverer already removed it
+    snapshot = yield from runtime.client.scan_ownership(node)
+    granules = sorted(g for g, owner in snapshot.items() if owner == dead_id)
+    taken: List[int] = []
+    if granules:
+        taken = yield from runtime.recover_granules(dead_id, granules)
+    yield from runtime.remove_node(dead_id)
+    updates = [Put(GTABLE, g, node.node_id) for g in taken]
+    updates.append(Delete(MTABLE, dead_id))
+    for peer in node.member_ids():
+        if peer != node.node_id:
+            node.endpoint.cast(node_address(peer), "view_update", tuple(updates))
+    if node.metrics is not None:
+        node.metrics.record_failover(node.sim.now, dead_id, len(taken))
+    return taken
+
+
 class RingFailureDetector:
     """Per-node heartbeat monitor over the MTable ring.
 
@@ -74,11 +112,19 @@ class RingFailureDetector:
     — whose own probes all time out while storage stays reachable — sees the
     vote its healthy peers committed against *it* land first in the totally
     ordered SysLog, retracts, and leaves its (healthy) ring successor alone.
+
+    With ``session_gate`` set (an external-service RPC address), the same
+    monitor runs against an :class:`ExternalRuntime`: each probe round also
+    pings the monitor's own service session, and a suspicion is confirmed
+    against the *service's* view of the target's session age instead of a
+    SysLog vote — the real-ZooKeeper ephemeral-session pattern.  A target
+    partitioned from its peers but not from the service keeps a fresh
+    session, so its monitors stand down and there is no mutual fencing.
     """
 
     def __init__(
         self,
-        runtime: "MarlinRuntime",
+        runtime,
         interval: float = 0.5,
         timeout: float = 0.25,
         miss_threshold: int = 3,
@@ -88,6 +134,8 @@ class RingFailureDetector:
         # vote -> confirmation-window -> re-check race (~interval + commit),
         # short enough that a stale row cannot stall a live failover for long.
         vote_window: float = 3.0,
+        session_gate: Optional[str] = None,
+        session_timeout: Optional[float] = None,
     ):
         self.runtime = runtime
         self.interval = interval
@@ -96,6 +144,13 @@ class RingFailureDetector:
         self.successors = successors
         self.vote_gate = vote_gate
         self.vote_window = vote_window
+        self.session_gate = session_gate
+        #: A session older than this is considered expired at the gate;
+        #: defaults to the same patience as the ring miss threshold.
+        self.session_timeout = (
+            session_timeout if session_timeout is not None
+            else miss_threshold * interval
+        )
         self._misses: Dict[int, int] = {}
         self._handling: Set[int] = set()
         self.failovers_started = 0
@@ -105,6 +160,12 @@ class RingFailureDetector:
         #: fencings = failovers that actually removed the target from MTable.
         self.suspicions_raised = 0
         self.fencings_committed = 0
+        #: Liveness-maintenance RPCs this detector issued (ring heartbeat
+        #: probes + service session pings) — the detection-traffic side of
+        #: the detection-latency/renewal-traffic trade-off fig7 reports.
+        self.renewal_rpcs = 0
+        #: Sim time the first confirmed failover began, or None.
+        self.first_failover_at: Optional[float] = None
         self._proc = None
 
     def start(self) -> None:
@@ -135,10 +196,15 @@ class RingFailureDetector:
         node = self.runtime.node
         while True:
             yield Timeout(self.interval)
+            if self.session_gate is not None:
+                # Keep our own service session fresh (one-way keepalive).
+                node.endpoint.cast(self.session_gate, "sess_ping", node.node_id)
+                self.renewal_rpcs += 1
             for target in self.ring_targets():
                 if target in self._handling:
                     continue
                 try:
+                    self.renewal_rpcs += 1
                     yield node.peer_call(
                         target, "heartbeat", node.node_id, timeout=self.timeout
                     )
@@ -171,15 +237,27 @@ class RingFailureDetector:
                 node.address, "failover", args={"target": dead_id}
             )
         try:
+            proceed = True
             if self.vote_gate:
                 proceed = yield from self._vote_gate_check(dead_id)
-                if not proceed:
-                    self.stand_downs += 1
-                    if tracer is not None:
-                        tracer.count("detector.stand_downs")
-                        tracer.end(sid, {"outcome": "stand_down"})
-                        sid = 0
-                    return
+            elif self.session_gate is not None:
+                proceed = yield from self._session_gate_check(dead_id)
+            if not proceed:
+                self.stand_downs += 1
+                if tracer is not None:
+                    tracer.count("detector.stand_downs")
+                    tracer.end(sid, {"outcome": "stand_down"})
+                    sid = 0
+                return
+            if self.first_failover_at is None:
+                self.first_failover_at = node.sim.now
+            # Marlin fences through the shared log; external runtimes fence
+            # through the coordination service.
+            fence = (
+                run_failover
+                if hasattr(self.runtime, "broadcast_sys_update")
+                else run_external_failover
+            )
             # RecoveryMigrTxn can lose lock races against in-flight
             # migrations that involve the dead node; retry with jittered
             # backoff inside this detection cycle rather than waiting for
@@ -187,7 +265,7 @@ class RingFailureDetector:
             # migration retry cadence and starve recovery indefinitely).
             for attempt in range(max_attempts):
                 try:
-                    yield from run_failover(self.runtime, dead_id)
+                    yield from fence(self.runtime, dead_id)
                     self.fencings_committed += 1
                     if tracer is not None:
                         tracer.count("detector.fencings")
@@ -264,3 +342,215 @@ class RingFailureDetector:
             )
             return False
         return True
+
+    def _session_gate_check(self, dead_id: int):
+        """Confirm a suspicion against the service's session view.
+
+        Fence only if the *service* also stopped hearing from the target
+        (session older than ``session_timeout``, or no session at all).  A
+        target that is partitioned from its peers but still pings the
+        service keeps a fresh session, so every monitor suspecting it backs
+        off — no mutual fencing, matching real ZK ephemeral sessions.  An
+        unreachable service is no evidence either way: stand down.
+        """
+        node = self.runtime.node
+        if dead_id not in node.member_ids():
+            return False  # already fenced by someone else
+        try:
+            age = yield node.endpoint.call(
+                self.session_gate, "sess_check", dead_id,
+                timeout=4 * self.timeout,
+            )
+        except (RpcTimeout, RpcError):
+            return False
+        return age is None or age >= self.session_timeout
+
+
+class LeaseFailureDetector:
+    """Lease-expiry failure detection for the lease coordination backend.
+
+    No peer-to-peer probes at all: each node *renews its own granule-group
+    lease* in the service on a seeded interval, and *watches the lease
+    table* for expired entries.  A node that dies stops renewing; after
+    ``ttl`` its lease expires; the first watcher to CAS-acquire the expired
+    lease (the service's leader pipeline serializes claimants, so exactly
+    one wins) self-promotes and drives the external failover path.  A
+    fenced-but-alive holder learns it lost when its next renewal is
+    rejected.  Detection latency is bounded by ``ttl + check_interval``;
+    the price is continuous renewal traffic — the trade-off fig7 sweeps.
+    """
+
+    def __init__(
+        self,
+        runtime: "ExternalRuntime",
+        ttl: float = 1.5,
+        renew_interval: float = 0.5,
+        check_interval: float = 0.5,
+    ):
+        self.runtime = runtime
+        self.ttl = ttl
+        self.renew_interval = renew_interval
+        self.check_interval = check_interval
+        self._handling: Set[str] = set()
+        self.failovers_started = 0
+        self.stand_downs = 0
+        self.suspicions_raised = 0
+        self.fencings_committed = 0
+        #: Lease-maintenance RPCs issued: renews, acquires, table scans.
+        self.renewal_rpcs = 0
+        self.first_failover_at: Optional[float] = None
+        #: True once a renewal was rejected (a successor fenced us).
+        self.fenced = False
+        self._procs: List = []
+
+    def start(self) -> None:
+        node = self.runtime.node
+        # Spawned on the node so freeze() kills both loops — a crashed
+        # node's renewals stopping IS the failure signal.
+        self._procs = [
+            node.spawn(
+                self._renew_loop(), name=f"lease-renew-{node.node_id}"
+            ),
+            node.spawn(
+                self._check_loop(), name=f"lease-check-{node.node_id}"
+            ),
+        ]
+
+    def stop(self) -> None:
+        """Halt both loops (in-flight promotions are left to finish)."""
+        for proc in self._procs:
+            proc.kill()
+        self._procs = []
+
+    def _lease_name(self) -> str:
+        from repro.coord.lease import lease_path
+
+        return lease_path(self.runtime.node.node_id)
+
+    # NOTE: every lease verb below goes *directly* to the service, NOT
+    # through ExternalRuntime._through_session.  Real lease clients renew on
+    # a dedicated keepalive channel (a K8s client's lease goroutine, ZK's
+    # session ping thread) precisely so bulk control-plane work cannot
+    # starve liveness: routed through the shared session pool, a successor's
+    # ~N recovery writes would queue its own renewals past the TTL and the
+    # successor would be fenced mid-failover — a self-inflicted cascade.
+
+    def _renew_loop(self):
+        node = self.runtime.node
+        client = self.runtime.client
+        name = self._lease_name()
+        # Candidate phase: (re-)acquire our own lease.  At bootstrap the
+        # cluster seeds it to us so this refreshes; after a restart it
+        # retries until a successor that took it over releases it.
+        while True:
+            self.renewal_rpcs += 1
+            granted, _holder, _expires = yield from client.acquire_lease(
+                node, name, node.node_id, self.ttl
+            )
+            if granted:
+                break
+            yield Timeout(self.renew_interval)
+        while True:
+            yield Timeout(self.renew_interval)
+            self.renewal_rpcs += 1
+            ok, _holder = yield from client.renew_lease(
+                node, name, node.node_id, self.ttl
+            )
+            if not ok:
+                # A successor CAS-acquired our expired lease while we were
+                # unresponsive: we are fenced.  Stand down; granules now
+                # belong to the successor.
+                self.fenced = True
+                self.stand_downs += 1
+                return
+
+    def _check_loop(self):
+        from repro.coord.lease import lease_path
+
+        node = self.runtime.node
+        client = self.runtime.client
+        while True:
+            yield Timeout(self.check_interval)
+            self.renewal_rpcs += 1
+            table = yield from client.lease_table(node)
+            now = node.sim.now
+            members = node.member_ids()
+            # Liveness is per *holder*, not per lease: a node's own lease is
+            # its session, and renewing it proves the node alive.  A
+            # successor mid-failover holds the dead node's lease too but
+            # only renews its own — that second lease re-expiring must not
+            # read as the successor's death, or healthy recoverers get
+            # "recovered" in a cascade.  (If the successor really dies, its
+            # own lease expires and both its leases become claimable.)
+            alive = {
+                holder
+                for name, (holder, expires) in table.items()
+                if name == lease_path(holder) and expires > now
+            }
+            for name in sorted(table):
+                holder, expires = table[name]
+                if (
+                    holder == node.node_id
+                    or name in self._handling
+                    or holder not in members
+                    or holder in alive
+                    or expires > now
+                ):
+                    continue
+                self._handling.add(name)
+                self.suspicions_raised += 1
+                tracer = node.tracer
+                if tracer is not None:
+                    tracer.count("detector.suspicions")
+                    tracer.instant(
+                        node.address, "detector:suspect",
+                        args={"target": holder, "lease": name},
+                    )
+                node.spawn(
+                    self._promote(name, holder),
+                    name=f"lease-promote-{node.node_id}-of-{holder}",
+                )
+
+    def _promote(self, name: str, dead_id: int):
+        node = self.runtime.node
+        client = self.runtime.client
+        tracer = node.tracer
+        sid = 0
+        if tracer is not None:
+            sid = tracer.begin(
+                node.address, "failover", args={"target": dead_id}
+            )
+        try:
+            # CAS on the expired lease: the service grants exactly one
+            # claimant, so concurrent watchers elect a single successor.
+            self.renewal_rpcs += 1
+            granted, _holder, _expires = yield from client.acquire_lease(
+                node, name, node.node_id, self.ttl
+            )
+            if not granted:
+                self.stand_downs += 1
+                if tracer is not None:
+                    tracer.count("detector.stand_downs")
+                    tracer.end(sid, {"outcome": "stand_down"})
+                    sid = 0
+                return
+            self.failovers_started += 1
+            if self.first_failover_at is None:
+                self.first_failover_at = node.sim.now
+            yield from run_external_failover(self.runtime, dead_id)
+            # Retire the dead node's lease (we hold it): a restarting owner
+            # re-acquires a fresh one through its own renew loop.
+            self.renewal_rpcs += 1
+            yield from client.release_lease(node, name, node.node_id)
+            self.fencings_committed += 1
+            if tracer is not None:
+                tracer.count("detector.fencings")
+                tracer.instant(
+                    node.address, "detector:fence", args={"target": dead_id}
+                )
+                tracer.end(sid, {"outcome": "fenced"})
+                sid = 0
+        finally:
+            self._handling.discard(name)
+            if sid:
+                tracer.end(sid, {"outcome": "interrupted"})

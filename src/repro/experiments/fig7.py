@@ -34,7 +34,7 @@ from repro.experiments.spec import (
 
 __all__ = ["FAULT_KINDS", "run", "run_grid", "slo_spec", "summarize"]
 
-DEFAULT_SYSTEMS = ("marlin", "zk-small", "fdb")
+DEFAULT_SYSTEMS = ("marlin", "zk-small", "fdb", "lease")
 
 #: The fault lands at t=3 into steady state; the run ends at a fixed horizon
 #: so every (system, fault) cell is measured over the same window.
@@ -97,10 +97,12 @@ SLO_P99_S = 0.6
 SLO_ABORT_RATIO = 0.25
 SLO_UNAVAILABILITY_S = 3.0
 #: Control-plane SLO: p99 per-MigrationTxn latency (failover recovery moves).
-#: Caveat for cross-system reads: only Marlin runs a failure detector today
-#: (`failovers` column is 0 for zk/fdb, so their migration_p99_s is vacuously
-#: 0.0) — the baselines ride faults out; see the ROADMAP open item on
-#: baseline-side failure detection.
+#: Every coordination mode runs a failure detector now — Marlin's vote-gated
+#: ring, zk/fdb the session-confirmed ring, lease mode TTL expiry + CAS
+#: self-promotion — so crash cells fail over in all four modes and the
+#: comparison is symmetric.  A cell that records no migrations (e.g. fault
+#: kinds the detectors correctly ride out) reports migration_p99_s = None
+#: ("unmeasured"), never a vacuous 0.0.
 SLO_MIGRATION_P99_S = 2.0
 #: Sub-window width for the per-window SLO series (violation fraction over
 #: time); matches the metrics bucket.
@@ -205,6 +207,8 @@ def summarize(results: Dict[Tuple[str, str], SpecRunResult]) -> FigureResult:
         m = result.metrics
         probes = {p.name: p for p in result.probes}
         spans = result.extras.get("span_summary", {})
+        fd = result.extras.get("failure_detection") or {}
+        first_failover = fd.get("first_failover_s")
         tput = result.throughput_series()
         during = [
             tps for t, tps in tput if FAULT_AT <= t < result.duration - 1.0
@@ -223,6 +227,17 @@ def summarize(results: Dict[Tuple[str, str], SpecRunResult]) -> FigureResult:
             unavail_s=probes["unavailability"].value,
             migration_p99_s=probes["migration_p99"].value,
             failovers=len(m.failovers),
+            # Fault injection to first confirmed failover — each mode's
+            # detection latency (None when no failover ran); and the
+            # liveness-maintenance traffic (ring heartbeats + session
+            # pings, or lease renews/acquires/scans) paid for it — the
+            # detection-latency/renewal-traffic trade-off, per cell.
+            detection_latency_s=(
+                first_failover - FAULT_AT
+                if first_failover is not None
+                else None
+            ),
+            renewal_rpcs=fd.get("renewal_rpcs", 0),
             # Traced runs only: total sim time each 2PC phase held (zero
             # when the grid ran without a TraceSpec).
             prepare_s=spans.get("2pc.prepare", {}).get("total_s", 0.0),

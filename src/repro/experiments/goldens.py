@@ -8,6 +8,10 @@ One module owns every golden the test suite pins a seeded run against:
 * :data:`SPEC_PARITY_GOLDENS` — the spec-runner parity scenarios
   (``tests/test_experiment_spec.py``): the fig8 family, fig14 dynamic and
   fig15 stress runs.
+* :data:`FIG7_LEASE_GOLDEN` — the lease-mode fig7 crash cell
+  (``tests/test_fig7_symmetry.py``): expiry-driven failover under the
+  canonical crash+rejoin schedule, including detection latency and renewal
+  traffic.
 
 Centralising them buys the **cache-epoch automation**: the sweep result
 cache must be invalidated by exactly the set of changes that alters what a
@@ -31,6 +35,7 @@ import json
 
 __all__ = [
     "DETERMINISM_GOLDEN",
+    "FIG7_LEASE_GOLDEN",
     "SPEC_PARITY_GOLDENS",
     "cache_epoch",
 ]
@@ -89,6 +94,21 @@ SPEC_PARITY_GOLDENS = {
 }
 
 
+#: run_spec(fig7.slo_spec("lease", "crash_restart", scale=0.25, seed=1)):
+#: node 1 crashes at t=3, its lease (ttl 1.5) expires, one checker wins the
+#: CAS self-promotion and recovers all 100 granules; detection latency is
+#: first_failover_s - 3.0.
+FIG7_LEASE_GOLDEN = {
+    "committed": 1052,
+    "aborted": 155,
+    "migrations": 100,
+    "failovers": 1,
+    "migration_p99_s": 2.6857628357567442,
+    "first_failover_s": 4.51512726901963,
+    "renewal_rpcs": 213,
+}
+
+
 def cache_epoch() -> str:
     """The result-cache epoch: a content hash of the behavioural goldens.
 
@@ -97,7 +117,11 @@ def cache_epoch() -> str:
     no manual bump to remember.
     """
     payload = json.dumps(
-        {"determinism": DETERMINISM_GOLDEN, "parity": SPEC_PARITY_GOLDENS},
+        {
+            "determinism": DETERMINISM_GOLDEN,
+            "parity": SPEC_PARITY_GOLDENS,
+            "fig7_lease": FIG7_LEASE_GOLDEN,
+        },
         sort_keys=True,
         separators=(",", ":"),
     )

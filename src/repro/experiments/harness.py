@@ -54,6 +54,7 @@ SYSTEM_LABELS = {
     "zk-small": "S-ZK",
     "zk-large": "L-ZK",
     "fdb": "FDB",
+    "lease": "Lease",
 }
 
 

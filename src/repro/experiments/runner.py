@@ -46,17 +46,20 @@ class ProbeResult:
 
     For series probes (``ProbeSpec.every``), ``series`` holds one
     ``(window_start, value, ok)`` entry per sub-window and
-    ``violation_fraction`` is the share of windows that violated the
-    threshold — the "violation fraction over time" view of an SLO; the
-    top-level ``value`` / ``ok`` stay the whole-window verdict.
+    ``violation_fraction`` is the share of *measured* windows that violated
+    the threshold — the "violation fraction over time" view of an SLO; the
+    top-level ``value`` / ``ok`` stay the whole-window verdict.  A probe
+    that measured nothing (e.g. ``migration_latency`` over a cell with no
+    recorded migrations) reports ``value=None`` / ``violation_fraction=None``
+    — "unmeasured", deliberately distinct from a measured 0.0.
     """
 
     name: str
     kind: str
-    value: float
+    value: Optional[float]
     threshold: float
     ok: bool
-    series: Optional[List[Tuple[float, float, bool]]] = None
+    series: Optional[List[Tuple[float, Optional[float], bool]]] = None
     violation_fraction: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
@@ -398,8 +401,15 @@ def _probe_measure(probe: ProbeSpec, result, window: Tuple[float, float]):
             if t0 <= b * bucket < t1
             for v in values
         ]
-        value = float(np.percentile(samples, probe.pct)) if samples else 0.0
-        ok = value <= probe.threshold
+        if samples:
+            value = float(np.percentile(samples, probe.pct))
+            ok = value <= probe.threshold
+        else:
+            # No migrations in the window: the SLO is *unmeasured*, not
+            # satisfied.  A 0.0 here reads as "instant failover" in cells
+            # where no failover ever ran — the fig7 vacuous-SLO footgun.
+            value = None
+            ok = True
     elif probe.kind in ("counter_max", "counter_min"):
         # Whole-run counters from the tracing registry; windows do not
         # apply (counters are not bucketed).  An untraced run reads 0.
@@ -426,11 +436,18 @@ def _evaluate_probe(probe: ProbeSpec, result) -> ProbeResult:
             w1 = min(t0 + (k + 1) * probe.every, t1)
             w_value, w_ok = _probe_measure(probe, result, (w0, w1))
             series.append((w0, w_value, w_ok))
-        violation_fraction = (
-            sum(1 for _t, _v, w_ok in series if not w_ok) / len(series)
-            if series
-            else 0.0
-        )
+        # Windows where the probe measured nothing (value None) are
+        # excluded from the denominator; a probe that measured nothing at
+        # all reports violation_fraction None — "unmeasured", never 0.0.
+        measured = [(t, v, w_ok) for t, v, w_ok in series if v is not None]
+        if series and not measured:
+            violation_fraction = None
+        else:
+            violation_fraction = (
+                sum(1 for _t, _v, w_ok in measured if not w_ok) / len(measured)
+                if measured
+                else 0.0
+            )
     return ProbeResult(
         probe.name,
         probe.kind,

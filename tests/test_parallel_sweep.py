@@ -346,11 +346,9 @@ class TestProbeExtensions:
     def test_failover_recovery_records_migration_latency(self):
         # The control-plane SLO reads real recovery latency: a fig7 crash
         # cell's RecoveryMigrTxn batch records one migration per taken
-        # granule.  (Only Marlin runs a failure detector today — external
-        # baselines ride faults out without failing over, see the ROADMAP
-        # open item — so the cross-system leg can't be asserted yet;
-        # ExternalRuntime.recover_granules mirrors the recording for when
-        # it is driven.)
+        # granule.  (Every coordination mode runs a failure detector now —
+        # the cross-system leg is asserted in tests/test_fig7_symmetry.py;
+        # this cell pins the Marlin-side recording.)
         from repro.experiments import fig7
 
         result = run_spec(
@@ -362,6 +360,41 @@ class TestProbeExtensions:
         probe = {p.name: p for p in result.probes}["migration_p99"]
         assert probe.value > 0.0
         assert probe.value == pytest.approx(m.migration_latency_stats()["p99"])
+
+    def test_vacuous_migration_probe_reports_unmeasured(self):
+        """Zero migrations -> migration_latency reports None, never 0.0.
+
+        The fig7 footgun this pins: a baseline cell whose detector rides a
+        fault out records no migrations; a vacuous 0.0 would read as 'met
+        the SLO with instant migrations' and make the asymmetric comparison
+        look symmetric.  'Unmeasured' must stay distinguishable from 'fast'.
+        """
+        spec = ScenarioSpec(
+            name="vacuous-mig",
+            topology=TopologySpec(nodes=2),
+            workload=WorkloadSpec(kind="none", granules=32),
+            probes=[
+                ProbeSpec(name="mig", kind="migration_latency", pct=99.0,
+                          threshold=2.0),
+                ProbeSpec(name="mig_w", kind="migration_latency", pct=99.0,
+                          threshold=2.0, every=1.0),
+            ],
+            tail=0.1,
+        )
+        result = run_spec(spec)
+        assert result.metrics.total_migrations == 0
+        by_name = {p.name: p for p in result.probes}
+        for name in ("mig", "mig_w"):
+            probe = by_name[name]
+            assert probe.value is None, f"{name}: vacuous 0.0 leaked"
+            assert probe.ok is True  # unmeasured, not violated
+        # Windowed form: every window is unmeasured, so the violation
+        # fraction is None ('nothing to judge'), not 0.0 ('all clean').
+        windowed = by_name["mig_w"]
+        assert windowed.series is not None
+        assert all(v is None and ok for _t, v, ok in windowed.series)
+        assert windowed.violation_fraction is None
+        assert result.slo_ok
 
     def test_plain_probe_has_no_series(self, probed):
         by_name = {p.name: p for p in probed.probes}

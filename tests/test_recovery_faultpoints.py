@@ -7,6 +7,9 @@ The tentpole robustness suite for crash-recoverable 2PC:
   restarts it inside the vote-timeout window, and asserts the paper's
   ground-truth invariants at quiescence — atomicity across granules,
   durability (no stranded prepares on live logs), and no leaked locks;
+- the same sweep replayed under every external coordination backend
+  (``zk-small`` / ``fdb`` / ``lease`` — ``TestBaselineFaultPointSweep``),
+  since the 2PC data plane is mode-independent;
 - unit tests for the FSM itself, the pure WAL-scan classifier
   (``core/recovery.py:analyze``), and the knobs/regressions the sweep
   depends on (termination calibration from ``NodeParams``, replay waiter
@@ -72,13 +75,14 @@ def glog_of(cluster, node_id):
 
 
 def run_edge_kill(role, edge, phase, seed, fault_at=0.8, rejoin_after=0.3,
-                  duration=3.5):
+                  duration=3.5, coordination="marlin"):
     """One sweep cell: crash ``role``'s node at (edge, phase), restart, settle.
 
     Returns the cluster (post-quiescence) and whether the fault fired.
     """
     cluster = make_cluster(
-        "marlin", num_nodes=3, num_keys=2048, keys_per_granule=64, seed=seed
+        coordination, num_nodes=3, num_keys=2048, keys_per_granule=64,
+        seed=seed,
     )
     # Flight recorder only: a failed invariant below reports the last spans
     # each node recorded before the kill (see assert_crash_invariants).
@@ -156,6 +160,47 @@ class TestFaultPointSweep:
         # Not every seed routes a 2PC branch through the armed edge before
         # the deadline; invariants must hold either way, and a fired fault
         # must leave a clean recovery report.
+        assert_crash_invariants(cluster)
+        if fired:
+            victim = VICTIM_BY_ROLE[role]
+            reports = [
+                r for r in cluster.recovery_reports if r.node_id == victim
+            ]
+            assert reports and all(r.unresolved == 0 for r in reports)
+
+
+#: External-service coordination backends: the 2PC data plane (WAL, locks,
+#: participant FSM) is identical machinery in every mode — only views and
+#: membership move into the service — so the fault-point invariants must
+#: hold under each backend, not just Marlin's embedded system tables.
+BASELINE_MODES = ("zk-small", "fdb", "lease")
+
+
+@pytest.mark.parametrize("mode", BASELINE_MODES)
+class TestBaselineFaultPointSweep:
+    """The edge-kill invariants hold under every coordination backend."""
+
+    def test_representative_edge(self, mode):
+        """One exhaustive cell per mode: participant killed after voting."""
+        cluster, fired = run_edge_kill(
+            "participant", "vote", "after", seed=40, coordination=mode
+        )
+        assert fired, f"({mode}) participant vote/after never hit"
+        assert_crash_invariants(cluster)
+        reports = [r for r in cluster.recovery_reports if r.node_id == 1]
+        assert reports and all(r.unresolved == 0 for r in reports)
+        assert cluster.metrics.total_committed > 0
+
+    @given(
+        point=st.sampled_from(EDGE_POINTS),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_seeded_sweep(self, mode, point, seed):
+        """Randomized (edge, seed) cells per backend, as in the marlin sweep."""
+        role, edge, phase = point
+        cluster, fired = run_edge_kill(
+            role, edge, phase, seed=seed, coordination=mode
+        )
         assert_crash_invariants(cluster)
         if fired:
             victim = VICTIM_BY_ROLE[role]
