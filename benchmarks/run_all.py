@@ -21,7 +21,9 @@ Besides the kernel micro-benches the report carries a ``"sweep"`` section:
 serial vs. parallel wall-clock of the detector-sweep grid through
 ``Sweep.run(workers=N)`` (the PR 4 process-pool runner), with a
 bit-identity cross-check between the two runs.  ``--skip-sweep`` omits it
-for kernel-only runs.
+for kernel-only runs.  A ``"replication"`` section prices the replica-set
+ship modes against an ``off`` run of the same seeded cluster and gates on
+off-run bit-identity (the replication-off hook must stay free).
 """
 
 from __future__ import annotations
@@ -105,6 +107,72 @@ def run_sweep_bench(quick: bool) -> dict:
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
         "bit_identical": identical,
     }
+
+
+#: Client count / run length for the replication section (full / quick).
+#: Its own report key (not ``RATE_METRIC``, same reasoning as the tracer
+#: section): the headline is the per-mode cost of WAL shipping relative to
+#: the in-report ``off`` run, with no baseline entry in pre-replication
+#: ``BENCH_PR*.json`` reports, so it must not feed the ``--assert-floor``
+#: gate.
+REPLICATION_RUN = ((8, 6.0), (4, 2.0))
+
+
+def run_replication_bench(quick: bool) -> dict:
+    """Per-mode cost of replica-set WAL shipping, plus the off-parity gate.
+
+    One small seeded cluster per mode (``off`` / ``sync_quorum`` / ``async``
+    / ``piggyback``) under the same closed-loop YCSB load; each entry
+    reports committed transactions, sim events, wall seconds and the ship
+    counters.  ``off_parity`` re-runs the ``off`` cluster and checks the
+    two fingerprints are identical — the replication-off hook must stay a
+    dead attribute test, bit-for-bit.
+    """
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.engine.replication import ReplicationSpec
+    from repro.experiments.harness import start_clients
+
+    clients_n, until = REPLICATION_RUN[1] if quick else REPLICATION_RUN[0]
+
+    def one(mode: str) -> dict:
+        spec = (
+            None
+            if mode == "off"
+            else ReplicationSpec(factor=3, mode=mode, quorum=2)
+        )
+        cluster = Cluster(ClusterConfig(
+            num_nodes=3, num_keys=3072, keys_per_granule=64, seed=17,
+            replication=spec,
+        ))
+        t0 = time.perf_counter()
+        cluster.run(until=0.2)
+        _router, clients = start_clients(cluster, clients_n, seed=17)
+        cluster.run(until=until)
+        for client in clients:
+            client.stop()
+        cluster.settle(0.3)
+        wall = time.perf_counter() - t0
+        stats = (
+            cluster.replicas.stats() if cluster.replicas is not None else {}
+        )
+        return {
+            "committed": cluster.metrics.total_committed,
+            "events": cluster.sim.events_executed,
+            "wall_s": round(wall, 3),
+            "events_per_sec": round(cluster.sim.events_executed / wall)
+            if wall else 0,
+            "ships": stats.get("ships", 0),
+            "bytes_shipped": stats.get("bytes_shipped", 0),
+        }
+
+    report = {mode: one(mode)
+              for mode in ("off", "sync_quorum", "async", "piggyback")}
+    rerun = one("off")
+    report["off_parity"] = (
+        report["off"]["committed"] == rerun["committed"]
+        and report["off"]["events"] == rerun["events"]
+    )
+    return report
 
 
 def _load_baseline(path: pathlib.Path) -> dict:
@@ -196,6 +264,23 @@ def main(argv=None) -> dict:
         f"schedule_drift={tracer['schedule_drift']:.0f})",
         flush=True,
     )
+    report["replication"] = repl = run_replication_bench(args.quick)
+    off_events = repl["off"]["events"] or 1
+    for mode in ("off", "sync_quorum", "async", "piggyback"):
+        entry = repl[mode]
+        print(
+            f"{'repl_' + mode:16s} committed={entry['committed']:,} "
+            f"events={entry['events']:,} "
+            f"(x{entry['events'] / off_events:.2f} vs off) "
+            f"ships={entry['ships']:,} wall={entry['wall_s']}s",
+            flush=True,
+        )
+    print(f"{'repl_off_parity':16s} {repl['off_parity']}", flush=True)
+    if not repl["off_parity"]:
+        # Replication-off runs diverging between two executions is a
+        # determinism break, not a perf number — fail loudly.
+        print("REPLICATION OFF-PARITY VIOLATED: seeded off-runs diverged")
+        sys.exit(1)
     if not args.skip_sweep:
         report["sweep"] = sweep = run_sweep_bench(args.quick)
         print(

@@ -25,6 +25,7 @@ __all__ = [
     "crash_restart_cycle",
     "flaky_link",
     "gray_failure",
+    "replica_link_degradation",
     "rolling_partition",
     "storage_brownout",
 ]
@@ -117,6 +118,41 @@ def storage_brownout(
     schedule = FaultSchedule()
     for i in range(repeat):
         schedule.at(at + i * (stall + gap), StorageStall(region=region, duration=stall))
+    return schedule
+
+
+def replica_link_degradation(
+    primary: int,
+    followers: Sequence[int],
+    at: float = 1.0,
+    duration: float = 2.0,
+    stall_region: Optional[str] = None,
+    stall: float = 0.5,
+) -> FaultSchedule:
+    """Degrade one primary's replica-ship paths without killing anything.
+
+    Asymmetric partition: messages *into* the follower group are blocked, so
+    the primary's ``repl_ship`` RPCs (and their retries) die on the wire
+    while the followers can still send — heartbeats keep flowing and no
+    failover fires.  sync_quorum commits stall against the quorum gate for
+    ``duration`` seconds; async silently accrues ship lag (visible later as
+    ``rpo_bytes`` if the primary dies before the lag drains).  An optional
+    ``stall_region`` adds a storage brownout under the follower side, the
+    "slow replica disk" half of the degradation.
+    """
+    followers = tuple(followers)
+    if not followers:
+        raise ValueError("replica_link_degradation needs at least one follower")
+    if primary in followers:
+        raise ValueError(f"primary {primary} cannot be its own follower")
+    schedule = FaultSchedule().at(
+        at,
+        Partition(
+            groups=(followers, (primary,)), symmetric=False, duration=duration
+        ),
+    )
+    if stall_region is not None:
+        schedule.at(at, StorageStall(region=stall_region, duration=stall))
     return schedule
 
 

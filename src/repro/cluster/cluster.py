@@ -108,6 +108,10 @@ class Cluster:
         self.scale_events: List[dict] = []
         #: RecoveryReports from every ``restart_node(rejoin=True)`` pass.
         self.recovery_reports: List = []
+        #: :class:`repro.engine.replication.ReplicaManager` when
+        #: ``config.replication`` is set; None keeps every WAL path
+        #: replication-free (byte-identical to pre-replication runs).
+        self.replicas = None
 
         self._bootstrap()
 
@@ -156,6 +160,11 @@ class Cluster:
         if self.tracer is not None:
             self._trace_node(node)
         self.nodes[node_id] = node
+        if self.replicas is not None:
+            # Scale-out nodes join the replica fabric as they are made;
+            # bootstrap nodes are attached in one pass once all exist (so
+            # seeded placement can draw followers from the full set).
+            self.replicas.attach(node)
         return node
 
     def _bootstrap(self) -> None:
@@ -196,6 +205,13 @@ class Cluster:
             node.lsn_tracker[SYSLOG] = syslog_lsn
             node.view_cursor[SYSLOG] = syslog_lsn
             node.start()
+
+        if config.replication is not None:
+            from repro.engine.replication import ReplicaManager
+
+            self.replicas = ReplicaManager(config.replication, self)
+            for nid in node_ids:
+                self.replicas.attach(self.nodes[nid])
 
         if self.service is not None:
             for nid in node_ids:

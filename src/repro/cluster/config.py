@@ -14,6 +14,7 @@ from repro.coord.fdb import FDB_DEFAULT, FdbConfig
 from repro.coord.lease import LEASE_DEFAULT, LeaseConfig
 from repro.coord.zookeeper import ZK_LARGE, ZK_SMALL, ZkConfig
 from repro.engine.node import NodeParams
+from repro.engine.replication import ReplicationSpec
 
 __all__ = [
     "COORDINATION_KINDS",
@@ -73,6 +74,11 @@ class ClusterConfig:
     #: already fenced) stands down instead of fencing its ring successor
     #: through still-reachable storage.
     detector_vote_gate: bool = True
+    #: Per-granule replica sets (``engine/replication.py``): None (default)
+    #: builds a replication-free cluster whose seeded runs are byte-identical
+    #: to the pre-replication goldens.  Marlin-only: the external baselines'
+    #: exclusively-owned WALs have no TryLog seam to ship from.
+    replication: Optional[ReplicationSpec] = None
     #: Simulated VM provisioning delay when scaling out.
     provision_delay: float = 0.0
     #: Storage-side latencies (Azure Append Blob / Table Storage class).
@@ -92,6 +98,11 @@ class ClusterConfig:
         if self.home_region not in self.regions:
             raise ValueError(
                 f"home region {self.home_region!r} not in regions {self.regions}"
+            )
+        if self.replication is not None and self.coordination != "marlin":
+            raise ValueError(
+                "replication requires the marlin coordination mode "
+                f"(got {self.coordination!r})"
             )
 
     @property

@@ -39,6 +39,14 @@ class MetricsCollector:
         self._max_lat_bucket = -1
         self.migration_latencies = array("d")
         self._migration_lat_buckets = array("q")
+        #: Replication probes, one sample per completed failover promotion:
+        #: acked-but-lost WAL bytes (RPO) and suspicion-to-serving seconds
+        #: (RTO).  Empty in replication-off runs — the probes then report
+        #: value=None, never a vacuous 0.0.
+        self.rpo_samples = array("d")
+        self._rpo_buckets = array("q")
+        self.rto_samples = array("d")
+        self._rto_buckets = array("q")
         self.failovers: List[Tuple[float, int, int]] = []
         #: (time, node_count) step function for realtime cost integration;
         #: appended in nondecreasing time order (enforced by record_node_count).
@@ -87,6 +95,18 @@ class MetricsCollector:
 
     def record_failover(self, t: float, dead_id: int, granules: int) -> None:
         self.failovers.append((t, dead_id, granules))
+
+    def record_rpo(self, t: float, nbytes: float) -> None:
+        """Acked-but-lost WAL bytes measured at one failover promotion."""
+        self.rpo_samples.append(nbytes)
+        self._rpo_buckets.append(self._bucket(t))
+        self._version += 1
+
+    def record_rto(self, t: float, seconds: float) -> None:
+        """Suspicion-to-first-serving latency of one failover promotion."""
+        self.rto_samples.append(seconds)
+        self._rto_buckets.append(self._bucket(t))
+        self._version += 1
 
     def record_node_count(self, t: float, count: int) -> None:
         events = self.node_count_events
@@ -229,6 +249,28 @@ class MetricsCollector:
             return out
 
         return self._cached(("migr-lat-buckets",), build)
+
+    def rpo_buckets(self) -> Dict[int, List[float]]:
+        """Per-bucket RPO samples (windowed probes read this; memoised)."""
+
+        def build():
+            out: Dict[int, List[float]] = defaultdict(list)
+            for b, value in zip(self._rpo_buckets, self.rpo_samples):
+                out[b].append(value)
+            return out
+
+        return self._cached(("rpo-buckets",), build)
+
+    def rto_buckets(self) -> Dict[int, List[float]]:
+        """Per-bucket RTO samples (windowed probes read this; memoised)."""
+
+        def build():
+            out: Dict[int, List[float]] = defaultdict(list)
+            for b, value in zip(self._rto_buckets, self.rto_samples):
+                out[b].append(value)
+            return out
+
+        return self._cached(("rto-buckets",), build)
 
     def migration_latency_stats(self) -> Dict[str, float]:
         if not self.migration_latencies:

@@ -20,9 +20,9 @@ from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set
 
 from repro.core.reconfig import NodeNotExistError
 from repro.engine.node import GTABLE, MTABLE, SYSLOG, glog_name, node_address
-from repro.engine.txn import TxnAborted
+from repro.engine.txn import AbortReason, TxnAborted
 from repro.sim.core import Timeout
-from repro.sim.rpc import RpcError, RpcTimeout
+from repro.sim.rpc import RemoteError, RpcError, RpcTimeout
 from repro.storage.log import Delete, Put
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -37,17 +37,38 @@ __all__ = [
 ]
 
 
-def run_failover(runtime: "MarlinRuntime", dead_id: int) -> Generator:
+def run_failover(
+    runtime: "MarlinRuntime", dead_id: int,
+    suspected_at: Optional[float] = None,
+) -> Generator:
     """Full failover of ``dead_id`` driven by the detecting node.
 
     Idempotent and safe under concurrent detectors: RecoveryMigrTxn
     re-validates ownership against the replayed GTable and serializes through
     the dead node's GLog CAS; DeleteNodeTxn validates membership.
     Returns the list of granules this node took over.
+
+    With replication on, the failover *promotes* the most-caught-up
+    surviving follower of ``dead_id``: the granule list comes from that
+    follower's shipped tail (no storage replay on the critical path) and
+    RecoveryMigrTxn runs *on the follower*, which already holds the warm
+    replica.  The dead-GLog CAS inside the txn still fences a merely-slow
+    owner exactly as before.  ``suspected_at`` (the detector's suspicion
+    time) feeds the ``rto_s`` probe; the acked-minus-received byte gap on
+    the promoted tail feeds ``rpo_bytes``.
     """
     node = runtime.node
     if dead_id not in node.mtable:
         return []
+    if node.replicator is not None:
+        plan = node.replicator.plan_promotion(dead_id)
+        if plan is not None:
+            return (
+                yield from _promote_follower(
+                    runtime, dead_id, plan, suspected_at
+                )
+            )
+        # No surviving follower: fall through to the storage-replay path.
     dead_glog = glog_name(dead_id)
     end = yield node.storage_call("log_end_lsn", dead_glog, log=dead_glog)
     snapshot = yield node.storage_call(
@@ -69,7 +90,64 @@ def run_failover(runtime: "MarlinRuntime", dead_id: int) -> Generator:
     return taken
 
 
-def run_external_failover(runtime: "ExternalRuntime", dead_id: int) -> Generator:
+def _promote_follower(
+    runtime: "MarlinRuntime", dead_id: int, plan, suspected_at
+) -> Generator:
+    """Replicated failover: hand recovery to the most-caught-up follower.
+
+    The follower runs RecoveryMigrTxn itself (the existing ``run_recovery``
+    RPC — same fencing CAS through the dead node's GLog), so the granules
+    come up on the node that already holds their shipped WAL tail.  RPC
+    failures surface as :class:`TxnAborted` so the detector's retry loop —
+    which re-plans, possibly onto a different follower — handles them.
+    """
+    node = runtime.node
+    replicator = node.replicator
+    granules, best_id, lost_bytes = plan
+    taken: List[int] = []
+    if granules:
+        if best_id == node.node_id:
+            taken = yield from runtime.recover_granules(dead_id, granules)
+        else:
+            try:
+                taken = list(
+                    (
+                        yield node.peer_call(
+                            best_id, "run_recovery", tuple(granules), dead_id,
+                            timeout=node.params.rpc_timeout,
+                        )
+                    )
+                )
+            except RemoteError as err:
+                if isinstance(err.cause, TxnAborted):
+                    raise TxnAborted(
+                        err.cause.reason, err.cause.detail
+                    ) from err
+                raise TxnAborted(AbortReason.NODE_FAILED, str(err)) from err
+            except (RpcTimeout, RpcError) as err:
+                raise TxnAborted(AbortReason.NODE_FAILED, str(err)) from err
+    try:
+        yield from runtime.remove_node(dead_id)
+    except NodeNotExistError:
+        pass  # a concurrent detector already removed it
+    updates = [Put(GTABLE, g, best_id) for g in taken]
+    updates.append(Delete(MTABLE, dead_id))
+    runtime.broadcast_sys_update(updates)
+    replicator.note_promoted(dead_id, best_id, taken)
+    if node.metrics is not None:
+        now = node.sim.now
+        node.metrics.record_failover(now, dead_id, len(taken))
+        if taken:
+            node.metrics.record_rpo(now, float(lost_bytes))
+            if suspected_at is not None:
+                node.metrics.record_rto(now, now - suspected_at)
+    return taken
+
+
+def run_external_failover(
+    runtime: "ExternalRuntime", dead_id: int,
+    suspected_at: Optional[float] = None,
+) -> Generator:
     """Failover of ``dead_id`` arbitrated through the external service.
 
     The baselines' counterpart of :func:`run_failover`: the authoritative
@@ -230,6 +308,9 @@ class RingFailureDetector:
 
     def _run_failover(self, dead_id: int, max_attempts: int = 8):
         node = self.runtime.node
+        #: When the miss threshold crossed — the RTO clock starts here, not
+        #: at fencing time (probes measure suspicion-to-first-serving).
+        suspected_at = node.sim.now
         tracer = node.tracer
         sid = 0
         if tracer is not None:
@@ -265,7 +346,9 @@ class RingFailureDetector:
             # migration retry cadence and starve recovery indefinitely).
             for attempt in range(max_attempts):
                 try:
-                    yield from fence(self.runtime, dead_id)
+                    yield from fence(
+                        self.runtime, dead_id, suspected_at=suspected_at
+                    )
                     self.fencings_committed += 1
                     if tracer is not None:
                         tracer.count("detector.fencings")

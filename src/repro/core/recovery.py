@@ -191,6 +191,11 @@ def recover_node(node: "ComputeNode") -> Generator:
         tracer.end(sid, {
             "resolved": report.resolved, "unresolved": report.unresolved,
         })
+    # With replication on, a restarted follower's shipped tails diverged
+    # while it slept (gapped async ships, missed decisions): re-sync them
+    # from the live primaries and respawn the ship loop ``freeze`` killed.
+    if node.replicator is not None:
+        yield from node.replicator.reconcile(node)
     return report
 
 

@@ -111,6 +111,13 @@ class GroupCommitter:
                 self.records_flushed += len(batch)
                 if tracer is not None:
                     tracer.count("wal.appends", len(batch))
+                # Replication rides the flush batch (piggyback ships exactly
+                # this batch; sync_quorum blocks the acks below on follower
+                # acks — commit futures resolve only after the quorum).
+                if node.replicator is not None:
+                    yield from node.replicator.on_wal_append(
+                        node, result.lsn, bodies
+                    )
             else:
                 self.cas_failures += 1
             if sid:

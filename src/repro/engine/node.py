@@ -190,6 +190,10 @@ class ComputeNode:
         #: Optional :class:`repro.obs.Tracer` (attached by the cluster like
         #: ``metrics``); ``None`` keeps every hot path at one attribute check.
         self.tracer = None
+        #: Optional :class:`repro.engine.replication.ReplicaManager` shared
+        #: across the cluster; ``None`` (the default) keeps the WAL paths
+        #: free of replication work entirely.
+        self.replicator = None
         #: Per-node txn sequence (see :meth:`next_txn_seq`): ids minted here
         #: depend only on this node's history, never on other clusters that
         #: happen to share the process.
@@ -359,6 +363,19 @@ class ComputeNode:
             if sid:
                 tracer.end(sid, {"ok": int(result.ok)})
                 sid = 0
+            # Ship successful appends to this node's own WAL to its replica
+            # set (votes, decisions, migration commits — the records that
+            # keep follower ownership views honest).  Appends to *other*
+            # logs (e.g. fencing writes into a dead node's GLog) are that
+            # primary's history, not ours, and are never shipped.
+            if (
+                self.replicator is not None
+                and result.ok
+                and log_name == self.glog
+            ):
+                yield from self.replicator.on_wal_append(
+                    self, result.lsn, ((txn_id, kind, entries),)
+                )
             return result
         finally:
             gate.release()

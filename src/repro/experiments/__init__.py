@@ -29,6 +29,7 @@ from repro.experiments import (
     fig14,
     fig15,
     fig16_recovery,
+    fig17_replication,
 )
 from repro.experiments.harness import (
     EXP_NODE_PARAMS,
@@ -66,6 +67,7 @@ FIGURES = {
     "fig14": fig14,
     "fig15": fig15,
     "fig16_recovery": fig16_recovery,
+    "fig17_replication": fig17_replication,
     "detector_sweep": detector_sweep,
 }
 
@@ -96,6 +98,7 @@ __all__ = [
     "fig14",
     "fig15",
     "fig16_recovery",
+    "fig17_replication",
     "run_cells",
     "run_scale_out_scenario",
     "run_spec",

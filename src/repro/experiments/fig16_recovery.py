@@ -137,6 +137,7 @@ def recovery_spec(
     seed: int = 1,
     incr_fraction: float = INCR_FRACTION,
     remote_fraction: float = REMOTE_FRACTION,
+    workload: str = "ycsb",
     trace: Optional[TraceSpec] = None,
 ) -> ScenarioSpec:
     """One (system, crash kind) cell: mixed 2PC + fast-path load, one crash.
@@ -170,11 +171,17 @@ def recovery_spec(
             f"{sorted(ALL_KINDS)}"
         )
     clients = scaled(32, scale, minimum=8)
+    # Under TPC-C, ``remote_fraction`` becomes the remote-warehouse mix
+    # (NEW-ORDER and PAYMENT both) and ``incr_fraction`` is ignored by the
+    # workload — TPC-C has no coordination-free increment population.
+    name = f"fig16-{crash_kind}-{system}"
+    if workload != "ycsb":
+        name = f"fig16-{crash_kind}-{workload}-{system}"
     return ScenarioSpec(
-        name=f"fig16-{crash_kind}-{system}",
+        name=name,
         topology=TopologySpec(nodes=4, coordination=system),
         workload=WorkloadSpec(
-            kind="ycsb",
+            kind=workload,
             clients=clients,
             granules=scaled(1600, scale, minimum=64),
             incr_fraction=incr_fraction,
@@ -210,6 +217,7 @@ def run_grid(
     systems: Sequence[str] = DEFAULT_SYSTEMS,
     seed: int = 1,
     crash_kinds: Optional[Sequence[str]] = None,
+    workload: str = "ycsb",
     workers: Optional[int] = None,
     cache=None,
     trace: Optional[TraceSpec] = None,
@@ -218,12 +226,16 @@ def run_grid(
 
     ``trace`` (a :class:`TraceSpec`) turns on deterministic tracing for
     every cell, populating the per-cell ``prepare_s`` / ``decision_s``
-    span-summary columns (zero when untraced).
+    span-summary columns (zero when untraced).  ``workload`` runs the same
+    crash grid under ``"tpcc"`` instead of the default ``"ycsb"``.
     """
     kinds = list(crash_kinds) if crash_kinds is not None else list(ALL_KINDS)
     keys = [(kind, system) for kind in kinds for system in systems]
     specs = [
-        recovery_spec(system, kind, scale=scale, seed=seed, trace=trace)
+        recovery_spec(
+            system, kind, scale=scale, seed=seed, workload=workload,
+            trace=trace,
+        )
         for kind, system in keys
     ]
     results = run_cells(specs, workers=workers, cache=cache)
@@ -288,6 +300,7 @@ def run(
     systems: Sequence[str] = DEFAULT_SYSTEMS,
     seed: int = 1,
     crash_kinds: Optional[Sequence[str]] = None,
+    workload: str = "ycsb",
     results: Optional[Dict[Tuple[str, str], SpecRunResult]] = None,
     workers: Optional[int] = None,
     cache=None,
@@ -299,6 +312,7 @@ def run(
             systems=systems,
             seed=seed,
             crash_kinds=crash_kinds,
+            workload=workload,
             workers=workers,
             cache=cache,
             trace=trace,

@@ -12,6 +12,9 @@ One module owns every golden the test suite pins a seeded run against:
   (``tests/test_fig7_symmetry.py``): expiry-driven failover under the
   canonical crash+rejoin schedule, including detection latency and renewal
   traffic.
+* :data:`FIG17_REPLICATION_GOLDEN` — the replicated lagged-crash cells
+  (``tests/test_replication.py``): sync_quorum vs. async promotion under a
+  ship-lag window, pinning RPO/RTO and the ship counters.
 
 Centralising them buys the **cache-epoch automation**: the sweep result
 cache must be invalidated by exactly the set of changes that alters what a
@@ -36,6 +39,7 @@ import json
 __all__ = [
     "DETERMINISM_GOLDEN",
     "FIG7_LEASE_GOLDEN",
+    "FIG17_REPLICATION_GOLDEN",
     "SPEC_PARITY_GOLDENS",
     "cache_epoch",
 ]
@@ -109,6 +113,37 @@ FIG7_LEASE_GOLDEN = {
 }
 
 
+#: run_spec(fig17_replication.replication_spec(cell, "lagged_crash",
+#: scale=0.25, seed=1)) for the two cells whose contrast is the figure's
+#: finding: a replica-link degradation window (1.5s-2.5s) queues ship lag,
+#: then the primary dies at t=3 — sync_quorum promotes with zero lost bytes,
+#: async loses exactly the un-shipped tail.  Pins the ship/ack counters too,
+#: so any change to replication's seeded behaviour re-captures here (and
+#: rotates the cache epoch).
+FIG17_REPLICATION_GOLDEN = {
+    "sync_q2": {
+        "committed": 142,
+        "aborted": 19,
+        "failovers": 1,
+        "promotions": 1,
+        "ships": 478,
+        "bytes_shipped": 53136,
+        "rpo_bytes": 0.0,
+        "rto_s": 1.3089310598703134,
+    },
+    "async": {
+        "committed": 435,
+        "aborted": 39,
+        "failovers": 1,
+        "promotions": 1,
+        "ships": 1074,
+        "bytes_shipped": 159362,
+        "rpo_bytes": 2724.0,
+        "rto_s": 0.9832130347739323,
+    },
+}
+
+
 def cache_epoch() -> str:
     """The result-cache epoch: a content hash of the behavioural goldens.
 
@@ -121,6 +156,7 @@ def cache_epoch() -> str:
             "determinism": DETERMINISM_GOLDEN,
             "parity": SPEC_PARITY_GOLDENS,
             "fig7_lease": FIG7_LEASE_GOLDEN,
+            "fig17_replication": FIG17_REPLICATION_GOLDEN,
         },
         sort_keys=True,
         separators=(",", ":"),

@@ -22,7 +22,7 @@ from repro.cluster import Cluster
 from repro.cluster.cost import CostReport
 from repro.engine.node import NodeParams
 from repro.workload.client import Client, Router
-from repro.workload.tpcc import TpccWorkload
+from repro.workload.tpcc import TpccConfig, TpccWorkload
 from repro.workload.ycsb import YcsbConfig, YcsbWorkload
 
 __all__ = [
@@ -203,8 +203,22 @@ def start_clients(
             )
             workload = YcsbWorkload(cluster.gmap, config, key_lo=lo, key_hi=hi)
         elif workload_kind == "tpcc":
+            # ``remote_fraction`` maps onto TPC-C's remote-warehouse mix:
+            # it overrides *both* remote_new_order and remote_payment (the
+            # spec's 10%/15% split collapses to one knob so a sweep axis
+            # means the same thing under either workload); 0.0 keeps the
+            # calibrated defaults rather than forcing an all-local mix.
+            config = (
+                TpccConfig(
+                    remote_new_order=remote_fraction,
+                    remote_payment=remote_fraction,
+                )
+                if remote_fraction
+                else None
+            )
             workload = TpccWorkload(
                 cluster.gmap,
+                config,
                 warehouse_lo=cluster.gmap.granule_of(lo),
                 warehouse_hi=cluster.gmap.granule_of(hi - 1) + 1,
             )

@@ -342,6 +342,8 @@ def build_config(spec: ScenarioSpec) -> ClusterConfig:
         provision_delay=topo.provision_delay,
         seed=spec.seed,
     )
+    if topo.replication is not None:
+        kwargs["replication"] = topo.resolve_replication()
     if topo.storage_append_latency is not None:
         kwargs["storage_append_latency"] = topo.storage_append_latency
     if topo.storage_read_latency is not None:
@@ -408,6 +410,28 @@ def _probe_measure(probe: ProbeSpec, result, window: Tuple[float, float]):
             # No migrations in the window: the SLO is *unmeasured*, not
             # satisfied.  A 0.0 here reads as "instant failover" in cells
             # where no failover ever ran — the fig7 vacuous-SLO footgun.
+            value = None
+            ok = True
+    elif probe.kind in ("rpo_bytes", "rto_s"):
+        buckets = (
+            metrics.rpo_buckets()
+            if probe.kind == "rpo_bytes"
+            else metrics.rto_buckets()
+        )
+        samples = [
+            v
+            for b, values in buckets.items()
+            if t0 <= b * bucket < t1
+            for v in values
+        ]
+        if samples:
+            # Worst case over the window: one lossy (or slow) failover is a
+            # violation even when siblings in the same window were clean.
+            value = float(max(samples))
+            ok = value <= probe.threshold
+        else:
+            # No failovers in the window: unmeasured, not "zero loss" — the
+            # same vacuous-SLO footgun as migration_latency above.
             value = None
             ok = True
     elif probe.kind in ("counter_max", "counter_min"):
@@ -635,6 +659,8 @@ def run_spec(spec: ScenarioSpec) -> SpecRunResult:
             "committed": sum(r.committed for r in cluster.recovery_reports),
             "aborted": sum(r.aborted for r in cluster.recovery_reports),
         }
+    if cluster.replicas is not None:
+        result.extras["replication"] = cluster.replicas.stats()
     if cluster._all_detectors:
         result.extras["failure_detection"] = dict(
             mode=spec.topology.coordination,

@@ -110,6 +110,11 @@ class TopologySpec(_SpecBase):
     storage_read_latency: Optional[float] = None
     provision_delay: float = 0.0
     metrics_bucket: float = 1.0
+    #: Per-granule replica sets (``engine/replication.py``), as the plain
+    #: dict form of :class:`repro.engine.replication.ReplicationSpec`
+    #: (``{"factor": 3, "mode": "sync_quorum", "quorum": 2, ...}``) so sweep
+    #: axes like ``"topology.replication.mode"`` work.  None = off.
+    replication: Optional[Dict[str, Any]] = None
 
     def __post_init__(self):
         self.regions = tuple(self.regions)
@@ -118,6 +123,27 @@ class TopologySpec(_SpecBase):
                 f"unknown node_params preset {self.node_params!r}; "
                 f"expected one of {sorted(NODE_PARAM_PRESETS)}"
             )
+        if self.replication is not None:
+            # Validate eagerly so a bad sweep axis fails at expand time,
+            # not deep inside a worker process.
+            from repro.engine.replication import ReplicationSpec
+
+            ReplicationSpec(**self.replication)
+
+    def to_dict(self) -> Dict[str, Any]:
+        # Omit ``replication`` when unset so pre-existing spec JSON (and the
+        # content-addressed cache keys derived from it) stays byte-identical.
+        data = _jsonify(asdict(self))
+        if data.get("replication") is None:
+            data.pop("replication", None)
+        return data
+
+    def resolve_replication(self):
+        from repro.engine.replication import ReplicationSpec
+
+        if self.replication is None:
+            return None
+        return ReplicationSpec(**self.replication)
 
     def resolve_node_params(self) -> NodeParams:
         base = NODE_PARAM_PRESETS[self.node_params]()
@@ -142,8 +168,11 @@ class WorkloadSpec(_SpecBase):
     #: YCSB only: fraction of transactions that are cross-granule
     #: global-counter increments (coordination-free fast-path candidates).
     incr_fraction: float = 0.0
-    #: YCSB only: fraction of the remaining transactions that also write a
-    #: second random granule — plain writes, forced through full 2PC.
+    #: Fraction of transactions that spill to a second owner.  YCSB: the
+    #: remaining (non-incr) transactions also write a second random granule
+    #: — plain writes, forced through full 2PC.  TPC-C: overrides both
+    #: remote-warehouse mix knobs (``remote_new_order`` / ``remote_payment``)
+    #: with this value; 0.0 keeps the workload's calibrated defaults.
     remote_fraction: float = 0.0
 
     def __post_init__(self):
@@ -278,7 +307,14 @@ class ProbeSpec(_SpecBase):
     * ``counter_max`` / ``counter_min`` — the named tracer counter (e.g.
       ``"lock.waits"``, ``"rpc.heartbeat"``, ``"detector.fencings"``) must
       be <= / >= threshold.  Requires ``counter`` and a spec with tracing
-      enabled (:class:`TraceSpec`); windows do not apply.
+      enabled (:class:`TraceSpec`); windows do not apply;
+    * ``rpo_bytes`` — worst acked-but-lost WAL bytes across the window's
+      failover promotions <= threshold (requires replication; a window
+      with no failovers reports ``value=None, ok=True`` — no data *measured*
+      is not the same claim as no data *lost*);
+    * ``rto_s`` — worst suspicion-to-first-serving failover latency
+      (seconds) across the window's promotions <= threshold; same
+      ``None``-when-unmeasured contract.
 
     ``every`` turns any probe into a *series* probe: besides the whole-window
     verdict, the probe is re-evaluated over consecutive ``every``-second
@@ -307,6 +343,8 @@ class ProbeSpec(_SpecBase):
         "migration_latency",
         "counter_max",
         "counter_min",
+        "rpo_bytes",
+        "rto_s",
     )
 
     def __post_init__(self):
